@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Design-choice ablation (paper §5.3, Q.9): Quality-Optimized vs
+ * Throughput-Optimized monitor modes.
+ *
+ * At low request rates the quality-optimized mode serves cache hits
+ * with the *large* model when capacity allows, recovering quality; the
+ * throughput-optimized mode always refines with the small model. This
+ * ablation sweeps the request rate and reports, per mode, the SLO
+ * compliance and the fraction of hits refined by the large model plus
+ * end-to-end CLIP.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.hh"
+
+using namespace modm;
+
+int
+main()
+{
+    baselines::PresetParams params;
+    params.numWorkers = 16;
+    params.gpu = diffusion::GpuKind::MI210;
+    params.cacheCapacity = 2500;
+    params.keepOutputs = true;
+
+    eval::MetricSuite metrics;
+    const double slo =
+        2.0 * diffusion::sd35Large().fullLatency(params.gpu);
+
+    Table t({"rate/min", "mode", "hits on large", "CLIP",
+             "SLO viol (2x)", "throughput/min"});
+    for (double rate : {6.0, 12.0, 20.0}) {
+        for (const auto mode : {serving::MonitorMode::QualityOptimized,
+                                serving::MonitorMode::ThroughputOptimized}) {
+            auto config = baselines::modm(diffusion::sd35Large(),
+                                          diffusion::sdxl(), params);
+            config.mode = mode;
+            const auto bundle = bench::poissonBundle(
+                bench::Dataset::DiffusionDB, 2500, 1200, rate);
+            const auto result = bench::runSystem(config, bundle);
+
+            std::size_t hits = 0, hitsOnLarge = 0;
+            for (const auto &r : result.metrics.records()) {
+                if (!r.cacheHit)
+                    continue;
+                ++hits;
+                hitsOnLarge += r.servedBy == "SD3.5L";
+            }
+            double clip = 0.0;
+            for (std::size_t i = 0; i < result.images.size(); ++i)
+                clip += metrics.clipScore(result.prompts[i],
+                                          result.images[i]);
+            clip /= static_cast<double>(result.images.size());
+
+            t.addRow({Table::fmt(rate, 0),
+                      serving::monitorModeName(mode),
+                      hits ? Table::fmt(static_cast<double>(hitsOnLarge) /
+                                        hits, 2)
+                           : "-",
+                      Table::fmt(clip),
+                      Table::fmt(result.metrics.sloViolationRate(slo)),
+                      Table::fmt(result.throughputPerMin)});
+        }
+    }
+    t.print("Ablation — monitor operating modes (16x MI210; paper Q.9: "
+            "quality mode serves hits with the large model when load "
+            "allows)");
+    return 0;
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Paper Fig. 5a/5b: quality factor vs text-image similarity per k, and
+ * the derived cache-hit thresholds at alpha = 0.95.
+ *
+ * Method (mirrors §5.2): generate large-model images; form related
+ * queries by drifting the concept; for each (query, cached image) pair
+ * refine with the small model at every k in K = {5,...,30} and compute
+ * the quality factor Q = CLIP(refined) / CLIP(full large generation).
+ * Calibrate thresholds with KDecision::calibrate and compare them with
+ * the paper's Fig. 5b table {0.25, 0.27, 0.28, 0.29, 0.30}.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "bench/harness.hh"
+#include "src/common/stats.hh"
+#include "src/serving/k_decision.hh"
+
+using namespace modm;
+
+int
+main()
+{
+    constexpr int kPairs = 6000;
+    const std::vector<int> kSet = {5, 10, 15, 20, 25, 30};
+    const double alpha = 0.95;
+
+    workload::DiffusionDBModel gen({}, 13);
+    diffusion::Sampler sampler(5);
+    eval::MetricSuite metrics;
+    embedding::TextEncoder text;
+    embedding::ImageEncoder image;
+    Rng rng(17);
+
+    std::vector<serving::CalibrationPoint> points;
+    std::map<int, std::map<int, RunningStat>> cells;
+    for (int i = 0; i < kPairs; ++i) {
+        auto base = gen.next();
+        const auto baseImg =
+            sampler.generate(diffusion::sd35Large(), base, 0.0);
+        workload::Prompt query = base;
+        query.id = base.id + 1000000;
+        query.visualConcept = jitterUnitVec(
+            base.visualConcept, rng.uniform(0.0, 0.8), rng);
+        const auto te = text.encode(query.visualConcept,
+                                    query.lexicalStyle, query.text);
+        const auto ie =
+            image.encode(baseImg.content, baseImg.fidelity, baseImg.id);
+        const double sim = te.similarity(ie);
+        if (sim < 0.20 || sim > 0.34)
+            continue;
+
+        const auto fullGen =
+            sampler.generate(diffusion::sd35Large(), query, 0.0);
+        const double fullClip = metrics.clipScore(query, fullGen);
+        for (int k : kSet) {
+            const auto refined = sampler.refine(diffusion::sdxl(), query,
+                                                baseImg, k, 0.0);
+            const double q = metrics.clipScore(query, refined) / fullClip;
+            points.push_back({k, sim, q});
+            cells[k][static_cast<int>(sim * 100.0)].add(q);
+        }
+    }
+
+    // Fig. 5a: the quality response surface.
+    Table surface({"similarity", "k=5", "k=10", "k=15", "k=20", "k=25",
+                   "k=30"});
+    for (int bucket = 21; bucket <= 33; ++bucket) {
+        std::vector<std::string> row = {Table::fmt(bucket / 100.0, 2)};
+        bool any = false;
+        for (int k : kSet) {
+            const auto it = cells[k].find(bucket);
+            if (it != cells[k].end() && it->second.count() >= 20) {
+                row.push_back(Table::fmt(it->second.mean(), 3));
+                any = true;
+            } else {
+                row.push_back("-");
+            }
+        }
+        if (any)
+            surface.addRow(row);
+    }
+    surface.print("Fig. 5a — quality factor vs text-image similarity "
+                  "(SDXL refinement of SD3.5L cache)");
+
+    // Fig. 5b: derived thresholds at alpha = 0.95.
+    const auto derived = serving::KDecision::calibrate(points, alpha);
+    const std::map<int, double> paper = {
+        {5, 0.25}, {10, 0.27}, {15, 0.28}, {25, 0.29}, {30, 0.30}};
+    Table thresholds({"k", "derived threshold", "paper Fig. 5b"});
+    for (std::size_t i = 0; i < derived.ks.size(); ++i) {
+        const int k = derived.ks[i];
+        const auto it = paper.find(k);
+        thresholds.addRow({Table::fmt(static_cast<std::uint64_t>(k)),
+                           Table::fmt(derived.floors[i], 3),
+                           it == paper.end() ? "-"
+                                             : Table::fmt(it->second, 2)});
+    }
+    thresholds.print("Fig. 5b — cache-hit thresholds at alpha = 0.95");
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Paper Fig. 6: MoDM's cache hit rate as the request stream progresses,
+ * for two cache sizes. The paper's point: hit rate stabilises quickly
+ * and is nearly identical across cache sizes, so sub-sampled
+ * experiments generalise.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.hh"
+#include "src/cache/image_cache.hh"
+#include "src/serving/k_decision.hh"
+
+using namespace modm;
+
+namespace {
+
+/**
+ * Streamed cache simulation (no cluster): classify each prompt against
+ * the cache, then admit the (simulated) generation — full fidelity to
+ * the scheduler's cache path at a fraction of the cost, which is what
+ * lets us stream tens of thousands of requests.
+ */
+std::vector<double>
+hitRateCurve(std::size_t cache_capacity, std::size_t requests,
+             std::size_t window)
+{
+    auto gen = workload::makeDiffusionDB(42);
+    diffusion::Sampler sampler(7);
+    cache::ImageCache cache(cache_capacity, cache::EvictionPolicy::FIFO);
+    embedding::TextEncoder text;
+    serving::KDecision kd;
+
+    std::vector<double> curve;
+    std::size_t hitsInWindow = 0;
+    for (std::size_t i = 0; i < requests; ++i) {
+        const auto p = gen->next();
+        const auto te =
+            text.encode(p.visualConcept, p.lexicalStyle, p.text);
+        const auto r = cache.retrieve(te);
+        diffusion::Image img;
+        if (r.found && kd.isHit(r.similarity)) {
+            ++hitsInWindow;
+            cache.recordHit(r.entryId, static_cast<double>(i));
+            img = sampler.refine(diffusion::sdxl(), p,
+                                 cache.entry(r.entryId).image,
+                                 kd.decide(r.similarity),
+                                 static_cast<double>(i));
+        } else {
+            img = sampler.generate(diffusion::sd35Large(), p,
+                                   static_cast<double>(i));
+        }
+        cache.insert(img, static_cast<double>(i));
+        if ((i + 1) % window == 0) {
+            curve.push_back(static_cast<double>(hitsInWindow) / window);
+            hitsInWindow = 0;
+        }
+    }
+    return curve;
+}
+
+} // namespace
+
+int
+main()
+{
+    constexpr std::size_t kRequests = 30000;
+    constexpr std::size_t kWindow = 2000;
+    // Paper cache sizes 10k / 100k scaled to the request volume.
+    const auto smallCurve = hitRateCurve(2000, kRequests, kWindow);
+    const auto largeCurve = hitRateCurve(20000, kRequests, kWindow);
+
+    Table t({"requests", "hit rate (cache 2k)", "hit rate (cache 20k)"});
+    for (std::size_t i = 0; i < smallCurve.size(); ++i) {
+        t.addRow({Table::fmt(static_cast<std::uint64_t>((i + 1) *
+                                                        kWindow)),
+                  Table::fmt(smallCurve[i], 3),
+                  Table::fmt(largeCurve[i], 3)});
+    }
+    t.print("Fig. 6 — hit rate over the request stream (paper: stable "
+            "~0.9, consistent across cache sizes)");
+    return 0;
+}

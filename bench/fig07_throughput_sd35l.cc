@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Paper Fig. 7: maximum serving throughput of every baseline,
+ * normalized to Vanilla (SD3.5L), on the DiffusionDB and MJHQ
+ * workloads.
+ *
+ * Paper shape: DiffusionDB {1.0, 1.2, 1.8, 2.5, 3.2} and MJHQ
+ * {1.0, 1.1, 1.4, 2.1, 2.4} for {Vanilla, NIRVANA, Pinecone,
+ * MoDM-SDXL, MoDM-SANA}; MJHQ gains are smaller because the dataset
+ * has no temporal locality.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.hh"
+
+using namespace modm;
+
+namespace {
+
+void
+runDataset(bench::Dataset dataset)
+{
+    constexpr std::size_t kWarm = 3000;
+    constexpr std::size_t kRequests = 3000;
+
+    baselines::PresetParams params;
+    params.numWorkers = 4;
+    params.gpu = diffusion::GpuKind::A40;
+    params.cacheCapacity = 3000;
+
+    const auto bundle = bench::batchBundle(dataset, kWarm, kRequests);
+    const auto lineup = bench::paperLineup(diffusion::sd35Large(), params);
+
+    std::vector<serving::ServingResult> results;
+    for (const auto &spec : lineup)
+        results.push_back(bench::runSystem(spec.config, bundle));
+
+    const double vanilla = results.front().throughputPerMin;
+    const std::vector<const char *> paperDdb = {"1.0", "1.2", "1.8",
+                                                "2.5", "3.2"};
+    const std::vector<const char *> paperMjhq = {"1.0", "1.1", "1.4",
+                                                 "2.1", "2.4"};
+    const auto &paper =
+        dataset == bench::Dataset::DiffusionDB ? paperDdb : paperMjhq;
+
+    Table t({"system", "throughput/min", "normalized", "paper",
+             "hit rate", "mean k"});
+    for (std::size_t i = 0; i < lineup.size(); ++i) {
+        t.addRow({lineup[i].name,
+                  Table::fmt(results[i].throughputPerMin),
+                  Table::fmt(results[i].throughputPerMin / vanilla, 2),
+                  paper[i],
+                  Table::fmt(results[i].hitRate),
+                  Table::fmt(results[i].metrics.meanK(), 1)});
+    }
+    t.print(std::string("Fig. 7 — max throughput, large model SD3.5L, ") +
+            bundle.dataset + " (3000 reqs, warm cache 3000, 4x A40)");
+}
+
+} // namespace
+
+int
+main()
+{
+    runDataset(bench::Dataset::DiffusionDB);
+    runDataset(bench::Dataset::MJHQ);
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Paper Fig. 8: throughput normalized to a FLUX Vanilla baseline on
+ * DiffusionDB — the cross-large-model generality check.
+ *
+ * Paper shape: {1.0, 1.2, 2.0, 2.4, 2.9} for {Vanilla(FLUX), NIRVANA,
+ * Pinecone, MoDM-SDXL, MoDM-SANA}.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.hh"
+
+using namespace modm;
+
+int
+main()
+{
+    baselines::PresetParams params;
+    params.numWorkers = 4;
+    params.gpu = diffusion::GpuKind::A40;
+    params.cacheCapacity = 3000;
+
+    const auto bundle =
+        bench::batchBundle(bench::Dataset::DiffusionDB, 3000, 3000);
+    const auto lineup = bench::paperLineup(diffusion::flux1Dev(), params);
+
+    std::vector<serving::ServingResult> results;
+    for (const auto &spec : lineup)
+        results.push_back(bench::runSystem(spec.config, bundle));
+
+    const double vanilla = results.front().throughputPerMin;
+    const std::vector<const char *> paper = {"1.0", "1.2", "2.0", "2.4",
+                                             "2.9"};
+    Table t({"system", "throughput/min", "normalized", "paper",
+             "hit rate"});
+    for (std::size_t i = 0; i < lineup.size(); ++i) {
+        t.addRow({lineup[i].name,
+                  Table::fmt(results[i].throughputPerMin),
+                  Table::fmt(results[i].throughputPerMin / vanilla, 2),
+                  paper[i],
+                  Table::fmt(results[i].hitRate)});
+    }
+    t.print("Fig. 8 — max throughput, large model FLUX, DiffusionDB "
+            "(3000 reqs, warm cache 3000, 4x A40)");
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Paper Figs. 12 & 13: SLO violation rates vs request rate, for SLO
+ * thresholds of 2x and 4x the large model's inference latency, on
+ * 4x A40 and 16x MI210 clusters.
+ *
+ * Paper shape: Vanilla and Nirvana collapse past ~5 req/min (A40) /
+ * ~14 req/min (MI210); MoDM stays compliant up to ~10 (A40) and
+ * ~22-26 (MI210).
+ */
+
+#include <cstdio>
+
+#include "bench/harness.hh"
+
+using namespace modm;
+
+namespace {
+
+void
+runCluster(std::size_t gpus, diffusion::GpuKind kind,
+           const std::vector<double> &rates, const char *label)
+{
+    constexpr std::size_t kRequests = 1200;
+
+    baselines::PresetParams params;
+    params.numWorkers = gpus;
+    params.gpu = kind;
+    params.cacheCapacity = 3000;
+
+    const double largeLatency =
+        diffusion::sd35Large().fullLatency(kind);
+
+    Table t({"rate/min", "Vanilla 2x", "NIRVANA 2x", "MoDM 2x",
+             "Vanilla 4x", "NIRVANA 4x", "MoDM 4x"});
+    for (double rate : rates) {
+        std::vector<std::string> row = {Table::fmt(rate, 0)};
+        std::vector<double> at2x, at4x;
+        const std::vector<serving::ServingConfig> configs = {
+            baselines::vanilla(diffusion::sd35Large(), params),
+            baselines::nirvana(diffusion::sd35Large(), params),
+            baselines::modmMulti(diffusion::sd35Large(),
+                                 {diffusion::sdxl(), diffusion::sana()},
+                                 params),
+        };
+        for (const auto &config : configs) {
+            const auto bundle = bench::poissonBundle(
+                bench::Dataset::DiffusionDB, 2500, kRequests, rate);
+            const auto result = bench::runSystem(config, bundle);
+            at2x.push_back(
+                result.metrics.sloViolationRate(2.0 * largeLatency));
+            at4x.push_back(
+                result.metrics.sloViolationRate(4.0 * largeLatency));
+        }
+        for (double v : at2x)
+            row.push_back(Table::fmt(v));
+        for (double v : at4x)
+            row.push_back(Table::fmt(v));
+        t.addRow(row);
+    }
+    t.print(std::string("Figs. 12/13 — SLO violation rate, ") + label +
+            " (1200 requests per point)");
+}
+
+} // namespace
+
+int
+main()
+{
+    runCluster(4, diffusion::GpuKind::A40,
+               {3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0}, "4x NVIDIA A40");
+    runCluster(16, diffusion::GpuKind::MI210,
+               {6.0, 10.0, 14.0, 18.0, 22.0, 26.0}, "16x AMD MI210");
+    return 0;
+}

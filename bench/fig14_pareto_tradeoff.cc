@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Paper Fig. 14: the quality-performance trade-off space — FID vs
+ * 1/throughput for the serving strategies and several MoDM runtime
+ * configurations (small-model choice, admission policy, cache size,
+ * threshold shift). The large model is FLUX, dataset DiffusionDB.
+ *
+ * Paper shape: MoDM configurations populate the Pareto frontier
+ * between the fast/low-quality standalone small models and the
+ * slow/high-quality FLUX baseline.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.hh"
+
+using namespace modm;
+
+int
+main()
+{
+    constexpr std::size_t kWarm = 2000;
+    constexpr std::size_t kRequests = 2000;
+
+    baselines::PresetParams params;
+    params.numWorkers = 4;
+    params.cacheCapacity = 2000;
+    params.keepOutputs = true;
+
+    const auto large = diffusion::flux1Dev();
+
+    std::vector<bench::SystemSpec> lineup = {
+        {"FLUX", baselines::vanilla(large, params)},
+        {"NIRVANA", baselines::nirvana(large, params)},
+        {"Pinecone", baselines::pinecone(large, params)},
+        {"SDXL", baselines::standalone(diffusion::sdxl(), params)},
+        {"SD3.5L-Turbo",
+         baselines::standalone(diffusion::sd35LargeTurbo(), params)},
+        {"MoDM-SDXL-cachelarge",
+         baselines::modm(large, diffusion::sdxl(), params)},
+        {"MoDM-SANA-cachelarge",
+         baselines::modm(large, diffusion::sana(), params)},
+        {"MoDM-Turbo-cachelarge",
+         baselines::modm(large, diffusion::sd35LargeTurbo(), params)},
+        {"MoDM-Turbo-cacheall",
+         baselines::modm(large, diffusion::sd35LargeTurbo(), params)},
+        {"MoDM-Turbo-cachelarge-5k",
+         baselines::modm(large, diffusion::sd35LargeTurbo(), params)},
+        {"MoDM-Turbo-cachelarge-thr+0.01",
+         baselines::modm(large, diffusion::sd35LargeTurbo(), params)},
+    };
+    // Configure the MoDM variants (paper's runtime parameters).
+    for (auto &spec : lineup) {
+        if (spec.name.find("cachelarge") != std::string::npos)
+            spec.config.admission =
+                serving::AdmissionPolicy::CacheLargeOnly;
+    }
+    lineup[9].config.cacheCapacity = 1000;   // "5k" scaled like others
+    for (auto &floor : lineup[10].config.kDecision.floors)
+        floor += 0.01;                       // threshold +0.01
+
+    eval::MetricSuite metrics;
+    Table t({"strategy", "throughput/min", "1/throughput", "FID",
+             "CLIP"});
+    for (const auto &spec : lineup) {
+        const auto bundle = bench::batchBundle(
+            bench::Dataset::DiffusionDB, kWarm, kRequests);
+        const auto result = bench::runSystem(spec.config, bundle);
+        const auto reference =
+            bench::referenceImages(result.prompts, large);
+        const auto q =
+            metrics.report(result.prompts, result.images, reference);
+        t.addRow({spec.name, Table::fmt(result.throughputPerMin),
+                  Table::fmt(1.0 / result.throughputPerMin, 3),
+                  Table::fmt(q.fid, 1), Table::fmt(q.clip)});
+    }
+    t.print("Fig. 14 — quality/performance trade-off space (FLUX "
+            "large model, DiffusionDB; lower-left is better)");
+    return 0;
+}

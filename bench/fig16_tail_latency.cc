@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Paper Fig. 16 (appendix A.2): p99 tail latency vs request rate on
+ * 4x A40 and 16x MI210.
+ *
+ * Paper shape: Vanilla and Nirvana blow past 1000 s once overloaded;
+ * MoDM stays low up to ~10 req/min (A40) and 20+ req/min (MI210).
+ */
+
+#include <cstdio>
+
+#include "bench/harness.hh"
+
+using namespace modm;
+
+namespace {
+
+void
+runCluster(std::size_t gpus, diffusion::GpuKind kind,
+           const std::vector<double> &rates, const char *label)
+{
+    baselines::PresetParams params;
+    params.numWorkers = gpus;
+    params.gpu = kind;
+    params.cacheCapacity = 3000;
+
+    Table t({"rate/min", "Vanilla p99 (s)", "NIRVANA p99 (s)",
+             "MoDM p99 (s)"});
+    for (double rate : rates) {
+        std::vector<std::string> row = {Table::fmt(rate, 0)};
+        const std::vector<serving::ServingConfig> configs = {
+            baselines::vanilla(diffusion::sd35Large(), params),
+            baselines::nirvana(diffusion::sd35Large(), params),
+            baselines::modmMulti(diffusion::sd35Large(),
+                                 {diffusion::sdxl(), diffusion::sana()},
+                                 params),
+        };
+        for (const auto &config : configs) {
+            const auto bundle = bench::poissonBundle(
+                bench::Dataset::DiffusionDB, 2500, 1200, rate);
+            const auto result = bench::runSystem(config, bundle);
+            row.push_back(
+                Table::fmt(result.metrics.latencyPercentile(99.0), 0));
+        }
+        t.addRow(row);
+    }
+    t.print(std::string("Fig. 16 — p99 tail latency, ") + label);
+}
+
+} // namespace
+
+int
+main()
+{
+    runCluster(4, diffusion::GpuKind::A40,
+               {3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0}, "4x NVIDIA A40");
+    runCluster(16, diffusion::GpuKind::MI210,
+               {6.0, 10.0, 14.0, 18.0, 22.0, 26.0}, "16x AMD MI210");
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Paper Table 2: image quality (CLIP / FID / IS / Pick) of every
+ * baseline on DiffusionDB and MJHQ, with SD3.5L as the vanilla large
+ * model. Runs in throughput-optimized mode — the paper's worst-case
+ * quality configuration.
+ *
+ * Paper shape (DiffusionDB): Vanilla FID ~6.3 best; small/distilled
+ * models 14-20; Nirvana ~9; MoDM-SDXL ~11.9 and MoDM-SANA ~17.0 —
+ * i.e. MoDM sits between the large model and its small model, with
+ * CLIP/Pick close to Vanilla.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.hh"
+
+using namespace modm;
+
+namespace {
+
+void
+runDataset(bench::Dataset dataset,
+           const std::vector<std::vector<const char *>> &paper)
+{
+    constexpr std::size_t kWarm = 2500;
+    constexpr std::size_t kRequests = 2500;
+
+    baselines::PresetParams params;
+    params.numWorkers = 4;
+    params.cacheCapacity = 2500;
+    params.keepOutputs = true;
+
+    std::vector<bench::SystemSpec> lineup = {
+        {"Vanilla (SD3.5L)",
+         baselines::vanilla(diffusion::sd35Large(), params)},
+        {"SDXL", baselines::standalone(diffusion::sdxl(), params)},
+        {"SD3.5L-Turbo",
+         baselines::standalone(diffusion::sd35LargeTurbo(), params)},
+        {"SANA", baselines::standalone(diffusion::sana(), params)},
+        {"NIRVANA", baselines::nirvana(diffusion::sd35Large(), params)},
+        {"Pinecone", baselines::pinecone(diffusion::sd35Large(), params)},
+        {"MoDM-SDXL", baselines::modm(diffusion::sd35Large(),
+                                      diffusion::sdxl(), params)},
+        {"MoDM-SANA", baselines::modm(diffusion::sd35Large(),
+                                      diffusion::sana(), params)},
+    };
+
+    eval::MetricSuite metrics;
+    Table t({"baseline", "CLIP", "FID", "IS", "Pick", "paper CLIP",
+             "paper FID"});
+    for (std::size_t i = 0; i < lineup.size(); ++i) {
+        const auto bundle = bench::batchBundle(dataset, kWarm, kRequests);
+        const auto result = bench::runSystem(lineup[i].config, bundle);
+        const auto reference =
+            bench::referenceImages(result.prompts, diffusion::sd35Large());
+        const auto q =
+            metrics.report(result.prompts, result.images, reference);
+        t.addRow({lineup[i].name, Table::fmt(q.clip), Table::fmt(q.fid),
+                  Table::fmt(q.is), Table::fmt(q.pick), paper[i][0],
+                  paper[i][1]});
+    }
+    t.print(std::string("Table 2 — image quality on ") +
+            bench::datasetName(dataset) +
+            " (vanilla SD3.5L, 2500 requests, throughput-optimized)");
+}
+
+} // namespace
+
+int
+main()
+{
+    runDataset(bench::Dataset::DiffusionDB,
+               {{"28.55", "6.29"},
+                {"29.30", "16.29"},
+                {"27.23", "14.63"},
+                {"28.08", "19.96"},
+                {"28.02", "9.01"},
+                {"25.98", "14.18"},
+                {"28.70", "11.85"},
+                {"28.01", "16.96"}});
+    runDataset(bench::Dataset::MJHQ,
+               {{"28.77", "5.16"},
+                {"29.66", "12.67"},
+                {"27.84", "10.68"},
+                {"28.83", "16.31"},
+                {"28.57", "5.37"},
+                {"27.20", "6.80"},
+                {"28.79", "6.87"},
+                {"28.82", "9.96"}});
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Paper Table 3: image quality on DiffusionDB with FLUX as the vanilla
+ * large model — the cross-backbone generality check for the quality
+ * results.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.hh"
+
+using namespace modm;
+
+int
+main()
+{
+    constexpr std::size_t kWarm = 2500;
+    constexpr std::size_t kRequests = 2500;
+
+    baselines::PresetParams params;
+    params.numWorkers = 4;
+    params.cacheCapacity = 2500;
+    params.keepOutputs = true;
+
+    const std::vector<bench::SystemSpec> lineup = {
+        {"Vanilla (FLUX)",
+         baselines::vanilla(diffusion::flux1Dev(), params)},
+        {"SDXL", baselines::standalone(diffusion::sdxl(), params)},
+        {"SD3.5L-Turbo",
+         baselines::standalone(diffusion::sd35LargeTurbo(), params)},
+        {"SANA", baselines::standalone(diffusion::sana(), params)},
+        {"NIRVANA", baselines::nirvana(diffusion::flux1Dev(), params)},
+        {"Pinecone", baselines::pinecone(diffusion::flux1Dev(), params)},
+        {"MoDM-SDXL", baselines::modm(diffusion::flux1Dev(),
+                                      diffusion::sdxl(), params)},
+        {"MoDM-SANA", baselines::modm(diffusion::flux1Dev(),
+                                      diffusion::sana(), params)},
+    };
+    const std::vector<std::vector<const char *>> paper = {
+        {"26.82", "6.02"}, {"29.30", "17.60"}, {"27.23", "15.11"},
+        {"28.08", "24.37"}, {"26.01", "9.07"}, {"24.37", "19.41"},
+        {"28.41", "10.74"}, {"27.59", "16.84"}};
+
+    eval::MetricSuite metrics;
+    Table t({"baseline", "CLIP", "FID", "IS", "Pick", "paper CLIP",
+             "paper FID"});
+    for (std::size_t i = 0; i < lineup.size(); ++i) {
+        const auto bundle = bench::batchBundle(
+            bench::Dataset::DiffusionDB, kWarm, kRequests);
+        const auto result = bench::runSystem(lineup[i].config, bundle);
+        const auto reference =
+            bench::referenceImages(result.prompts, diffusion::flux1Dev());
+        const auto q =
+            metrics.report(result.prompts, result.images, reference);
+        t.addRow({lineup[i].name, Table::fmt(q.clip), Table::fmt(q.fid),
+                  Table::fmt(q.is), Table::fmt(q.pick), paper[i][0],
+                  paper[i][1]});
+    }
+    t.print("Table 3 — image quality on DiffusionDB (vanilla FLUX, "
+            "2500 requests, throughput-optimized)");
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Example: choosing cache maintenance and admission policies.
+ *
+ * Uses the library's cache substrate directly (no cluster) to compare
+ * FIFO / LRU / Utility eviction and cache-all vs cache-large-only
+ * admission on both workload families — the operational decisions
+ * behind the paper's §5.4 and Fig. 9.
+ */
+
+#include <cstdio>
+
+#include "src/cache/image_cache.hh"
+#include "src/common/table.hh"
+#include "src/diffusion/sampler.hh"
+#include "src/serving/k_decision.hh"
+#include "src/workload/generator.hh"
+
+using namespace modm;
+
+namespace {
+
+struct StudyResult
+{
+    double hitRate;
+    double meanK;
+};
+
+StudyResult
+study(workload::TraceGenerator &gen, cache::EvictionPolicy policy,
+      bool cache_all, std::size_t requests)
+{
+    diffusion::Sampler sampler(7);
+    cache::ImageCache cache(1500, policy);
+    embedding::TextEncoder text;
+    serving::KDecision kd;
+
+    std::size_t hits = 0;
+    double kSum = 0.0;
+    for (std::size_t i = 0; i < requests; ++i) {
+        const auto p = gen.next();
+        const auto te =
+            text.encode(p.visualConcept, p.lexicalStyle, p.text);
+        const auto r = cache.retrieve(te);
+        const double now = static_cast<double>(i);
+        if (r.found && kd.isHit(r.similarity)) {
+            ++hits;
+            const int k = kd.decide(r.similarity);
+            kSum += k;
+            cache.recordHit(r.entryId, now);
+            const auto img = sampler.refine(
+                diffusion::sdxl(), p, cache.entry(r.entryId).image, k,
+                now);
+            if (cache_all)
+                cache.insert(img, now);
+        } else {
+            cache.insert(
+                sampler.generate(diffusion::sd35Large(), p, now), now);
+        }
+    }
+    return {static_cast<double>(hits) / requests,
+            hits ? kSum / hits : 0.0};
+}
+
+} // namespace
+
+int
+main()
+{
+    constexpr std::size_t kRequests = 8000;
+    Table t({"dataset", "policy", "admission", "hit rate", "mean k"});
+    for (const bool diffusionDb : {true, false}) {
+        for (auto policy : {cache::EvictionPolicy::FIFO,
+                            cache::EvictionPolicy::LRU,
+                            cache::EvictionPolicy::Utility}) {
+            for (const bool cacheAll : {true, false}) {
+                auto gen = diffusionDb ? workload::makeDiffusionDB(3)
+                                       : workload::makeMJHQ(3);
+                const auto r =
+                    study(*gen, policy, cacheAll, kRequests);
+                t.addRow({diffusionDb ? "DiffusionDB" : "MJHQ",
+                          cache::policyName(policy),
+                          cacheAll ? "cache-all" : "cache-large",
+                          Table::fmt(r.hitRate, 3),
+                          Table::fmt(r.meanK, 1)});
+            }
+        }
+    }
+    t.print("Cache policy / admission study (capacity 1500, 8000 "
+            "requests)");
+    std::printf("\nTakeaways mirror the paper: FIFO is competitive with "
+                "smarter policies on production traffic, and cache-all "
+                "only helps when requests have temporal locality.\n");
+    return 0;
+}

@@ -1,0 +1,82 @@
+#include "src/baselines/presets.hh"
+
+namespace modm::baselines {
+
+namespace {
+
+serving::ServingConfig
+base(const diffusion::ModelSpec &large, const PresetParams &params)
+{
+    serving::ServingConfig config;
+    config.largeModel = large;
+    config.numWorkers = params.numWorkers;
+    config.gpu = params.gpu;
+    config.cacheCapacity = params.cacheCapacity;
+    config.latentCacheCapacity = params.cacheCapacity;
+    config.seed = params.seed;
+    config.keepOutputs = params.keepOutputs;
+    return config;
+}
+
+} // namespace
+
+serving::ServingConfig
+vanilla(const diffusion::ModelSpec &large, const PresetParams &params)
+{
+    auto config = base(large, params);
+    config.kind = serving::SystemKind::Vanilla;
+    config.smallModels.clear();
+    return config;
+}
+
+serving::ServingConfig
+nirvana(const diffusion::ModelSpec &large, const PresetParams &params)
+{
+    auto config = base(large, params);
+    config.kind = serving::SystemKind::Nirvana;
+    config.smallModels.clear();
+    return config;
+}
+
+serving::ServingConfig
+pinecone(const diffusion::ModelSpec &large, const PresetParams &params)
+{
+    auto config = base(large, params);
+    config.kind = serving::SystemKind::Pinecone;
+    config.smallModels.clear();
+    return config;
+}
+
+serving::ServingConfig
+standalone(const diffusion::ModelSpec &model, const PresetParams &params)
+{
+    // The "large" model slot is unused for dispatch but still defines
+    // the SLO reference; keep it for latency profiling symmetry.
+    auto config = base(model, params);
+    config.kind = serving::SystemKind::StandaloneSmall;
+    config.smallModels = {model};
+    return config;
+}
+
+serving::ServingConfig
+modm(const diffusion::ModelSpec &large, const diffusion::ModelSpec &small,
+     const PresetParams &params)
+{
+    auto config = base(large, params);
+    config.kind = serving::SystemKind::MoDM;
+    config.smallModels = {small};
+    return config;
+}
+
+serving::ServingConfig
+modmMulti(const diffusion::ModelSpec &large,
+          const std::vector<diffusion::ModelSpec> &smalls,
+          const PresetParams &params)
+{
+    auto config = base(large, params);
+    config.kind = serving::SystemKind::MoDM;
+    config.smallModels = smalls;
+    return config;
+}
+
+} // namespace modm::baselines

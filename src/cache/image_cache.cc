@@ -1,0 +1,192 @@
+#include "src/cache/image_cache.hh"
+
+#include <algorithm>
+
+#include "src/common/log.hh"
+
+namespace modm::cache {
+
+const char *
+policyName(EvictionPolicy policy)
+{
+    switch (policy) {
+      case EvictionPolicy::FIFO:
+        return "FIFO";
+      case EvictionPolicy::LRU:
+        return "LRU";
+      case EvictionPolicy::Utility:
+        return "Utility";
+    }
+    panic("unknown EvictionPolicy");
+}
+
+ImageCache::ImageCache(std::size_t capacity, EvictionPolicy policy,
+                       embedding::ImageEncoderConfig encoder_config,
+                       std::uint64_t seed)
+    : capacity_(capacity), policy_(policy), encoder_(encoder_config),
+      rng_(seed), index_(encoder_config.dim)
+{
+    MODM_ASSERT(capacity_ > 0, "cache capacity must be positive");
+}
+
+void
+ImageCache::insert(const diffusion::Image &image, double now)
+{
+    MODM_ASSERT(!entries_.count(image.id),
+                "duplicate cache insert for image %llu",
+                static_cast<unsigned long long>(image.id));
+    while (entries_.size() >= capacity_)
+        evictOne();
+
+    CacheEntry entry;
+    entry.image = image;
+    entry.imageEmbedding =
+        encoder_.encode(image.content, image.fidelity, image.id);
+    entry.insertTime = now;
+    entry.lastHitTime = now;
+
+    index_.insert(image.id, entry.imageEmbedding);
+    fifo_.push_back(image.id);
+    lruOrder_.push_back(image.id);
+    lruPos_[image.id] = std::prev(lruOrder_.end());
+    storedBytes_ += image.byteSize;
+    entries_.emplace(image.id, std::move(entry));
+    ++stats_.insertions;
+}
+
+RetrievalResult
+ImageCache::retrieve(const embedding::Embedding &query) const
+{
+    ++const_cast<ImageCacheStats &>(stats_).lookups;
+    RetrievalResult result;
+    if (entries_.empty())
+        return result;
+    const auto match = index_.best(query);
+    result.found = true;
+    result.entryId = match.id;
+    result.similarity = match.similarity;
+    return result;
+}
+
+void
+ImageCache::recordHit(std::uint64_t entry_id, double now)
+{
+    auto it = entries_.find(entry_id);
+    MODM_ASSERT(it != entries_.end(), "recordHit on absent entry");
+    ++it->second.hits;
+    it->second.lastHitTime = now;
+    ++stats_.hitsRecorded;
+    // Move to most-recently-used position.
+    auto pos = lruPos_.find(entry_id);
+    MODM_ASSERT(pos != lruPos_.end(), "LRU bookkeeping out of sync");
+    lruOrder_.splice(lruOrder_.end(), lruOrder_, pos->second);
+    pos->second = std::prev(lruOrder_.end());
+}
+
+const CacheEntry &
+ImageCache::entry(std::uint64_t entry_id) const
+{
+    const auto it = entries_.find(entry_id);
+    MODM_ASSERT(it != entries_.end(), "entry() on absent id %llu",
+                static_cast<unsigned long long>(entry_id));
+    return it->second;
+}
+
+bool
+ImageCache::contains(std::uint64_t entry_id) const
+{
+    return entries_.count(entry_id) > 0;
+}
+
+std::uint64_t
+ImageCache::pickUtilityVictim()
+{
+    // Sampled eviction: examine a bounded number of random candidates
+    // and evict the one with the lowest utility (hit count with mild
+    // recency weighting). Keeps eviction O(sample) like production
+    // caches (e.g. Redis' approximated LFU).
+    constexpr std::size_t kSample = 24;
+    MODM_ASSERT(!fifo_.empty(), "utility eviction on empty cache");
+    std::uint64_t victim = 0;
+    double worst = 0.0;
+    bool first = true;
+    for (std::size_t i = 0; i < kSample; ++i) {
+        const std::uint64_t id = fifo_[rng_.uniformInt(fifo_.size())];
+        const auto it = entries_.find(id);
+        if (it == entries_.end())
+            continue; // stale fifo slot (already evicted)
+        const CacheEntry &e = it->second;
+        const double utility = static_cast<double>(e.hits) +
+            0.001 * e.lastHitTime;
+        if (first || utility < worst) {
+            worst = utility;
+            victim = id;
+            first = false;
+        }
+    }
+    if (first) {
+        // All sampled slots were stale: fall back to FIFO head.
+        for (std::uint64_t id : fifo_) {
+            if (entries_.count(id))
+                return id;
+        }
+        panic("utility eviction found no live entries");
+    }
+    return victim;
+}
+
+void
+ImageCache::evictOne()
+{
+    MODM_ASSERT(!entries_.empty(), "evict on empty cache");
+    std::uint64_t victim = 0;
+    switch (policy_) {
+      case EvictionPolicy::FIFO:
+        while (!fifo_.empty() && !entries_.count(fifo_.front()))
+            fifo_.pop_front();
+        MODM_ASSERT(!fifo_.empty(), "FIFO bookkeeping out of sync");
+        victim = fifo_.front();
+        break;
+      case EvictionPolicy::LRU:
+        MODM_ASSERT(!lruOrder_.empty(), "LRU bookkeeping out of sync");
+        victim = lruOrder_.front();
+        break;
+      case EvictionPolicy::Utility:
+        victim = pickUtilityVictim();
+        break;
+    }
+    erase(victim);
+    ++stats_.evictions;
+}
+
+void
+ImageCache::erase(std::uint64_t id)
+{
+    const auto it = entries_.find(id);
+    MODM_ASSERT(it != entries_.end(), "erase of absent entry");
+    storedBytes_ -= it->second.image.byteSize;
+    index_.remove(id);
+    const auto pos = lruPos_.find(id);
+    if (pos != lruPos_.end()) {
+        lruOrder_.erase(pos->second);
+        lruPos_.erase(pos);
+    }
+    if (!fifo_.empty() && fifo_.front() == id)
+        fifo_.pop_front();
+    // Otherwise leave the stale id in fifo_; eviction paths skip ids
+    // that are no longer present (lazy deletion keeps erase O(1)).
+    entries_.erase(it);
+}
+
+void
+ImageCache::clear()
+{
+    entries_.clear();
+    index_.clear();
+    fifo_.clear();
+    lruOrder_.clear();
+    lruPos_.clear();
+    storedBytes_ = 0.0;
+}
+
+} // namespace modm::cache

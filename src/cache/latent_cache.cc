@@ -1,0 +1,124 @@
+#include "src/cache/latent_cache.hh"
+
+#include <algorithm>
+
+#include "src/common/log.hh"
+
+namespace modm::cache {
+
+LatentCache::LatentCache(std::size_t capacity, std::string model_name,
+                         NirvanaThresholds thresholds, std::uint64_t seed)
+    : capacity_(capacity), modelName_(std::move(model_name)),
+      thresholds_(std::move(thresholds)), rng_(seed),
+      index_(embedding::kEmbeddingDim)
+{
+    MODM_ASSERT(capacity_ > 0, "latent cache capacity must be positive");
+    MODM_ASSERT(thresholds_.similarityFloors.size() ==
+                thresholds_.kValues.size(),
+                "threshold floors and k values must align");
+    MODM_ASSERT(std::is_sorted(thresholds_.similarityFloors.begin(),
+                               thresholds_.similarityFloors.end()),
+                "similarity floors must be ascending");
+}
+
+void
+LatentCache::insert(const diffusion::Image &image,
+                    const embedding::Embedding &text_embedding, double now)
+{
+    if (image.modelName != modelName_) {
+        // Latents are model-specific: content from other models cannot
+        // populate this cache (the fragmentation MoDM avoids).
+        ++rejectedInserts_;
+        return;
+    }
+    MODM_ASSERT(!entries_.count(image.id),
+                "duplicate latent insert for image %llu",
+                static_cast<unsigned long long>(image.id));
+    while (entries_.size() >= capacity_)
+        evictOne();
+
+    LatentEntry entry;
+    entry.image = image;
+    entry.textEmbedding = text_embedding;
+    entry.modelName = image.modelName;
+    entry.insertTime = now;
+
+    index_.insert(image.id, entry.textEmbedding);
+    order_.push_back(image.id);
+    storedBytes_ += kLatentSetBytes;
+    entries_.emplace(image.id, std::move(entry));
+}
+
+LatentHit
+LatentCache::retrieve(const embedding::Embedding &query_text) const
+{
+    LatentHit hit;
+    if (entries_.empty())
+        return hit;
+    const auto match = index_.best(query_text);
+    if (match.similarity < thresholds_.hitThreshold)
+        return hit;
+    hit.found = true;
+    hit.entryId = match.id;
+    hit.similarity = match.similarity;
+    hit.k = thresholds_.kValues.front();
+    for (std::size_t i = 0; i < thresholds_.similarityFloors.size(); ++i) {
+        if (match.similarity >= thresholds_.similarityFloors[i])
+            hit.k = thresholds_.kValues[i];
+    }
+    return hit;
+}
+
+void
+LatentCache::recordHit(std::uint64_t entry_id)
+{
+    auto it = entries_.find(entry_id);
+    MODM_ASSERT(it != entries_.end(), "recordHit on absent latent entry");
+    ++it->second.hits;
+}
+
+const LatentEntry &
+LatentCache::entry(std::uint64_t entry_id) const
+{
+    const auto it = entries_.find(entry_id);
+    MODM_ASSERT(it != entries_.end(), "latent entry() on absent id");
+    return it->second;
+}
+
+void
+LatentCache::evictOne()
+{
+    // Nirvana keeps high-utility latents: sampled eviction of the
+    // lowest-hit entry.
+    constexpr std::size_t kSample = 24;
+    MODM_ASSERT(!order_.empty(), "latent evict on empty cache");
+    std::uint64_t victim = 0;
+    std::uint64_t worst = 0;
+    bool first = true;
+    for (std::size_t i = 0; i < kSample; ++i) {
+        const std::uint64_t id = order_[rng_.uniformInt(order_.size())];
+        const auto it = entries_.find(id);
+        if (it == entries_.end())
+            continue;
+        if (first || it->second.hits < worst) {
+            worst = it->second.hits;
+            victim = id;
+            first = false;
+        }
+    }
+    if (first) {
+        while (!order_.empty() && !entries_.count(order_.front()))
+            order_.pop_front();
+        MODM_ASSERT(!order_.empty(), "latent cache bookkeeping out of sync");
+        victim = order_.front();
+    }
+    const auto it = entries_.find(victim);
+    MODM_ASSERT(it != entries_.end(), "latent victim vanished");
+    index_.remove(victim);
+    storedBytes_ -= kLatentSetBytes;
+    entries_.erase(it);
+    if (!order_.empty() && order_.front() == victim)
+        order_.pop_front();
+}
+
+} // namespace modm::cache

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Logging and error-exit helpers, following the gem5 fatal/panic split.
+ *
+ * fatal()  — the condition is the *user's* fault (bad configuration,
+ *            invalid arguments); exits with code 1.
+ * panic()  — the condition is a library bug (violated invariant);
+ *            calls std::abort() so a core dump / debugger is useful.
+ * warn()   — something is off but execution can continue.
+ * inform() — status messages with no negative connotation.
+ */
+
+#ifndef MODM_COMMON_LOG_HH
+#define MODM_COMMON_LOG_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace modm {
+
+/** Print a formatted fatal error (user error) and exit(1). */
+[[noreturn]] void fatal(const char *fmt, ...);
+
+/** Print a formatted panic (library bug) and abort(). */
+[[noreturn]] void panic(const char *fmt, ...);
+
+/** Print a formatted warning to stderr. */
+void warn(const char *fmt, ...);
+
+/** Print a formatted informational message to stderr. */
+void inform(const char *fmt, ...);
+
+/**
+ * Assert a library invariant; panics with the given message on failure.
+ * Unlike assert(3) this is active in release builds — simulators must not
+ * silently continue past corrupted state.
+ */
+#define MODM_ASSERT(cond, ...)                                               \
+    do {                                                                     \
+        if (!(cond))                                                         \
+            ::modm::panic("assertion failed (%s): " __VA_ARGS__, #cond);     \
+    } while (0)
+
+} // namespace modm
+
+#endif // MODM_COMMON_LOG_HH

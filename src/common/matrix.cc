@@ -1,0 +1,288 @@
+#include "src/common/matrix.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/log.hh"
+
+namespace modm {
+
+Matrix::Matrix(std::size_t n)
+    : n_(n), data_(n * n, 0.0)
+{
+}
+
+Matrix
+Matrix::identity(std::size_t n)
+{
+    Matrix m(n);
+    for (std::size_t i = 0; i < n; ++i)
+        m.at(i, i) = 1.0;
+    return m;
+}
+
+double &
+Matrix::at(std::size_t r, std::size_t c)
+{
+    MODM_ASSERT(r < n_ && c < n_, "matrix index out of range");
+    return data_[r * n_ + c];
+}
+
+double
+Matrix::at(std::size_t r, std::size_t c) const
+{
+    MODM_ASSERT(r < n_ && c < n_, "matrix index out of range");
+    return data_[r * n_ + c];
+}
+
+Matrix
+Matrix::operator+(const Matrix &other) const
+{
+    MODM_ASSERT(n_ == other.n_, "matrix size mismatch");
+    Matrix out(n_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] = data_[i] + other.data_[i];
+    return out;
+}
+
+Matrix
+Matrix::operator-(const Matrix &other) const
+{
+    MODM_ASSERT(n_ == other.n_, "matrix size mismatch");
+    Matrix out(n_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] = data_[i] - other.data_[i];
+    return out;
+}
+
+Matrix
+Matrix::operator*(const Matrix &other) const
+{
+    MODM_ASSERT(n_ == other.n_, "matrix size mismatch");
+    Matrix out(n_);
+    for (std::size_t i = 0; i < n_; ++i) {
+        for (std::size_t k = 0; k < n_; ++k) {
+            const double aik = at(i, k);
+            if (aik == 0.0)
+                continue;
+            for (std::size_t j = 0; j < n_; ++j)
+                out.at(i, j) += aik * other.at(k, j);
+        }
+    }
+    return out;
+}
+
+Matrix
+Matrix::scaled(double s) const
+{
+    Matrix out(n_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] = data_[i] * s;
+    return out;
+}
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix out(n_);
+    for (std::size_t r = 0; r < n_; ++r)
+        for (std::size_t c = 0; c < n_; ++c)
+            out.at(c, r) = at(r, c);
+    return out;
+}
+
+double
+Matrix::trace() const
+{
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n_; ++i)
+        acc += at(i, i);
+    return acc;
+}
+
+double
+Matrix::asymmetry() const
+{
+    double worst = 0.0;
+    for (std::size_t r = 0; r < n_; ++r)
+        for (std::size_t c = r + 1; c < n_; ++c)
+            worst = std::max(worst, std::fabs(at(r, c) - at(c, r)));
+    return worst;
+}
+
+namespace {
+
+double
+offDiagonalNorm(const Matrix &m)
+{
+    double acc = 0.0;
+    for (std::size_t r = 0; r < m.size(); ++r)
+        for (std::size_t c = 0; c < m.size(); ++c)
+            if (r != c)
+                acc += m.at(r, c) * m.at(r, c);
+    return std::sqrt(acc);
+}
+
+double
+frobenius(const Matrix &m)
+{
+    double acc = 0.0;
+    for (std::size_t r = 0; r < m.size(); ++r)
+        for (std::size_t c = 0; c < m.size(); ++c)
+            acc += m.at(r, c) * m.at(r, c);
+    return std::sqrt(acc);
+}
+
+} // namespace
+
+EigenDecomposition
+eigenSymmetric(const Matrix &m, double tol)
+{
+    const std::size_t n = m.size();
+    MODM_ASSERT(m.asymmetry() < 1e-6 * (1.0 + frobenius(m)),
+                "eigenSymmetric requires a symmetric matrix");
+
+    Matrix a = m;
+    Matrix v = Matrix::identity(n);
+    const double threshold = tol * (frobenius(m) + 1e-300);
+
+    // Cyclic Jacobi sweeps; converges quadratically once off-diagonal
+    // mass is small. Cap sweeps to guarantee termination.
+    const int maxSweeps = 100;
+    for (int sweep = 0; sweep < maxSweeps; ++sweep) {
+        if (offDiagonalNorm(a) <= threshold)
+            break;
+        for (std::size_t p = 0; p + 1 < n; ++p) {
+            for (std::size_t q = p + 1; q < n; ++q) {
+                const double apq = a.at(p, q);
+                if (std::fabs(apq) <= threshold / (n * n + 1.0))
+                    continue;
+                const double app = a.at(p, p);
+                const double aqq = a.at(q, q);
+                const double theta = (aqq - app) / (2.0 * apq);
+                const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                    (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+                const double c = 1.0 / std::sqrt(t * t + 1.0);
+                const double s = t * c;
+
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double akp = a.at(k, p);
+                    const double akq = a.at(k, q);
+                    a.at(k, p) = c * akp - s * akq;
+                    a.at(k, q) = s * akp + c * akq;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double apk = a.at(p, k);
+                    const double aqk = a.at(q, k);
+                    a.at(p, k) = c * apk - s * aqk;
+                    a.at(q, k) = s * apk + c * aqk;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double vkp = v.at(k, p);
+                    const double vkq = v.at(k, q);
+                    v.at(k, p) = c * vkp - s * vkq;
+                    v.at(k, q) = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    EigenDecomposition out;
+    out.values.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out.values[i] = a.at(i, i);
+    out.vectors = v;
+    return out;
+}
+
+Matrix
+sqrtSymmetricPSD(const Matrix &m)
+{
+    const auto eig = eigenSymmetric(m);
+    const std::size_t n = m.size();
+    Matrix out(n);
+    // out = V * sqrt(diag) * V^T
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < n; ++c) {
+            double acc = 0.0;
+            for (std::size_t k = 0; k < n; ++k) {
+                const double lambda = std::max(eig.values[k], 0.0);
+                acc += eig.vectors.at(r, k) * std::sqrt(lambda) *
+                    eig.vectors.at(c, k);
+            }
+            out.at(r, c) = acc;
+        }
+    }
+    return out;
+}
+
+Matrix
+covariance(const std::vector<Vec> &samples)
+{
+    MODM_ASSERT(samples.size() >= 2, "covariance needs >= 2 samples");
+    const std::size_t n = samples.front().size();
+    const auto mu = meanVector(samples);
+    Matrix cov(n);
+    for (const auto &s : samples) {
+        MODM_ASSERT(s.size() == n, "covariance: inconsistent dimensions");
+        for (std::size_t r = 0; r < n; ++r) {
+            const double dr = s[r] - mu[r];
+            for (std::size_t c = r; c < n; ++c)
+                cov.at(r, c) += dr * (s[c] - mu[c]);
+        }
+    }
+    const double denom = static_cast<double>(samples.size() - 1);
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = r; c < n; ++c) {
+            cov.at(r, c) /= denom;
+            cov.at(c, r) = cov.at(r, c);
+        }
+    }
+    return cov;
+}
+
+std::vector<double>
+meanVector(const std::vector<Vec> &samples)
+{
+    MODM_ASSERT(!samples.empty(), "meanVector needs samples");
+    const std::size_t n = samples.front().size();
+    std::vector<double> mu(n, 0.0);
+    for (const auto &s : samples)
+        for (std::size_t i = 0; i < n; ++i)
+            mu[i] += s[i];
+    for (auto &x : mu)
+        x /= static_cast<double>(samples.size());
+    return mu;
+}
+
+double
+frechetDistance(const std::vector<Vec> &a, const std::vector<Vec> &b)
+{
+    MODM_ASSERT(a.size() >= 2 && b.size() >= 2,
+                "frechetDistance needs >= 2 samples per population");
+    const auto mu1 = meanVector(a);
+    const auto mu2 = meanVector(b);
+    const Matrix c1 = covariance(a);
+    const Matrix c2 = covariance(b);
+
+    double meanTerm = 0.0;
+    for (std::size_t i = 0; i < mu1.size(); ++i) {
+        const double d = mu1[i] - mu2[i];
+        meanTerm += d * d;
+    }
+
+    // tr((C1^{1/2} C2 C1^{1/2})^{1/2}): the inner matrix is symmetric PSD
+    // by construction, so the Jacobi-based square root applies directly.
+    const Matrix sqrtC1 = sqrtSymmetricPSD(c1);
+    Matrix inner = sqrtC1 * c2 * sqrtC1;
+    // Symmetrise away round-off before the second square root.
+    inner = (inner + inner.transposed()).scaled(0.5);
+    const Matrix cross = sqrtSymmetricPSD(inner);
+
+    const double value =
+        meanTerm + c1.trace() + c2.trace() - 2.0 * cross.trace();
+    // The exact value is non-negative; clamp floating-point residue.
+    return std::max(value, 0.0);
+}
+
+} // namespace modm

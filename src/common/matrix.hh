@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Small dense symmetric-matrix linear algebra for the FID metric.
+ *
+ * The Fréchet Inception Distance requires the matrix square root of
+ * covariance products. Feature dimensionality in this repository is small
+ * (64), so a cyclic Jacobi eigensolver is fast, dependency-free, and
+ * numerically robust for the symmetric positive semi-definite matrices we
+ * encounter.
+ */
+
+#ifndef MODM_COMMON_MATRIX_HH
+#define MODM_COMMON_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/vec.hh"
+
+namespace modm {
+
+/** Row-major square matrix of doubles. */
+class Matrix
+{
+  public:
+    /** Zero matrix of size n x n. */
+    explicit Matrix(std::size_t n = 0);
+
+    /** Identity matrix of size n. */
+    static Matrix identity(std::size_t n);
+
+    /** Element access. */
+    double &at(std::size_t r, std::size_t c);
+
+    /** Const element access. */
+    double at(std::size_t r, std::size_t c) const;
+
+    /** Dimension. */
+    std::size_t size() const { return n_; }
+
+    /** Matrix sum; dimensions must match. */
+    Matrix operator+(const Matrix &other) const;
+
+    /** Matrix difference. */
+    Matrix operator-(const Matrix &other) const;
+
+    /** Matrix product. */
+    Matrix operator*(const Matrix &other) const;
+
+    /** Scalar product. */
+    Matrix scaled(double s) const;
+
+    /** Transpose. */
+    Matrix transposed() const;
+
+    /** Trace. */
+    double trace() const;
+
+    /** Max |a_ij - a_ji|; 0 for symmetric matrices. */
+    double asymmetry() const;
+
+  private:
+    std::size_t n_;
+    std::vector<double> data_;
+};
+
+/**
+ * Eigendecomposition of a symmetric matrix via cyclic Jacobi rotations.
+ * Eigenvalues are returned in `values`, the corresponding orthonormal
+ * eigenvectors as the *columns* of `vectors`.
+ */
+struct EigenDecomposition
+{
+    std::vector<double> values;
+    Matrix vectors;
+};
+
+/**
+ * Decompose a symmetric matrix. Off-diagonal magnitude is reduced below
+ * tol * frobenius(m) before returning.
+ */
+EigenDecomposition eigenSymmetric(const Matrix &m, double tol = 1e-12);
+
+/**
+ * Principal square root of a symmetric positive semi-definite matrix.
+ * Slightly negative eigenvalues from floating-point noise are clamped to
+ * zero.
+ */
+Matrix sqrtSymmetricPSD(const Matrix &m);
+
+/** Sample covariance (denominator n - 1) of a set of feature vectors. */
+Matrix covariance(const std::vector<Vec> &samples);
+
+/** Column-wise mean of a set of feature vectors. */
+std::vector<double> meanVector(const std::vector<Vec> &samples);
+
+/**
+ * Fréchet distance between two Gaussians fit to the given feature
+ * populations:
+ *   |mu1 - mu2|^2 + tr(C1 + C2 - 2 (C1^{1/2} C2 C1^{1/2})^{1/2}).
+ * This is the exact FID formula; only the feature extractor upstream is
+ * synthetic.
+ */
+double frechetDistance(const std::vector<Vec> &a, const std::vector<Vec> &b);
+
+} // namespace modm
+
+#endif // MODM_COMMON_MATRIX_HH

@@ -1,0 +1,208 @@
+#include "src/common/rng.hh"
+
+#include <cmath>
+
+#include "src/common/log.hh"
+
+namespace modm {
+
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+mix64(std::uint64_t value)
+{
+    std::uint64_t state = value;
+    return splitmix64(state);
+}
+
+namespace {
+
+inline std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+    : cachedNormal_(0.0), hasCachedNormal_(false), forkCounter_(0)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : s_)
+        word = splitmix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t n)
+{
+    MODM_ASSERT(n > 0, "uniformInt(0) is undefined");
+    // Rejection to remove modulo bias.
+    const std::uint64_t limit = UINT64_MAX - UINT64_MAX % n;
+    std::uint64_t v;
+    do {
+        v = next();
+    } while (v >= limit);
+    return v % n;
+}
+
+double
+Rng::normal()
+{
+    if (hasCachedNormal_) {
+        hasCachedNormal_ = false;
+        return cachedNormal_;
+    }
+    double u1, u2;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cachedNormal_ = r * std::sin(theta);
+    hasCachedNormal_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+double
+Rng::exponential(double rate)
+{
+    MODM_ASSERT(rate > 0.0, "exponential rate must be positive");
+    double u;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return -std::log(u) / rate;
+}
+
+std::uint64_t
+Rng::poisson(double mean)
+{
+    MODM_ASSERT(mean >= 0.0, "poisson mean must be non-negative");
+    if (mean == 0.0)
+        return 0;
+    if (mean < 30.0) {
+        // Knuth multiplication method.
+        const double limit = std::exp(-mean);
+        std::uint64_t k = 0;
+        double p = 1.0;
+        do {
+            ++k;
+            p *= uniform();
+        } while (p > limit);
+        return k - 1;
+    }
+    // Normal approximation for large means, clamped at zero.
+    const double v = normal(mean, std::sqrt(mean));
+    return v <= 0.0 ? 0 : static_cast<std::uint64_t>(v + 0.5);
+}
+
+std::uint64_t
+Rng::geometric(double p)
+{
+    MODM_ASSERT(p > 0.0 && p <= 1.0, "geometric p must be in (0, 1]");
+    if (p >= 1.0)
+        return 0;
+    double u;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return static_cast<std::uint64_t>(std::log(u) / std::log(1.0 - p));
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+ZipfDistribution::ZipfDistribution(std::uint64_t n, double s)
+{
+    MODM_ASSERT(n > 0, "Zipf needs a non-empty support");
+    MODM_ASSERT(s > 0.0, "Zipf exponent must be positive");
+    cdf_.resize(n);
+    double total = 0.0;
+    for (std::uint64_t k = 0; k < n; ++k) {
+        total += std::pow(static_cast<double>(k + 1), -s);
+        cdf_[k] = total;
+    }
+    for (auto &c : cdf_)
+        c /= total;
+    cdf_.back() = 1.0;
+}
+
+std::uint64_t
+ZipfDistribution::sample(Rng &rng) const
+{
+    const double u = rng.uniform();
+    // First index whose CDF value exceeds u.
+    std::size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+        const std::size_t mid = (lo + hi) / 2;
+        if (cdf_[mid] <= u)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+double
+ZipfDistribution::prob(std::uint64_t k) const
+{
+    MODM_ASSERT(k < cdf_.size(), "Zipf prob out of range");
+    return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+Rng
+Rng::fork()
+{
+    // Derive a child stream from the parent state plus a fork counter so
+    // repeated forks yield distinct, deterministic children.
+    const std::uint64_t childSeed =
+        mix64(s_[0] ^ rotl(s_[2], 13) ^ ++forkCounter_);
+    return Rng(childSeed);
+}
+
+} // namespace modm

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the MoDM simulators.
+ *
+ * All stochastic behaviour in the repository (workload generation, diffusion
+ * noise, arrival processes) flows through Rng so that every experiment is
+ * reproducible from a single 64-bit seed. The generator is xoshiro256++,
+ * seeded via splitmix64 as its authors recommend.
+ */
+
+#ifndef MODM_COMMON_RNG_HH
+#define MODM_COMMON_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace modm {
+
+/** One splitmix64 step; used for seeding and cheap hash mixing. */
+std::uint64_t splitmix64(std::uint64_t &state);
+
+/** Stateless mix of a 64-bit value (one splitmix64 round). */
+std::uint64_t mix64(std::uint64_t value);
+
+/**
+ * Deterministic random number generator (xoshiro256++) with the
+ * distributions the simulators need.
+ */
+class Rng
+{
+  public:
+    /** Construct from a seed; equal seeds yield equal streams. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n); n must be > 0. */
+    std::uint64_t uniformInt(std::uint64_t n);
+
+    /** Standard normal via Box-Muller (cached second variate). */
+    double normal();
+
+    /** Normal with the given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /** Exponential with the given rate (mean 1/rate). */
+    double exponential(double rate);
+
+    /** Poisson-distributed count with the given mean. */
+    std::uint64_t poisson(double mean);
+
+    /** Geometric number of failures before success; p in (0, 1]. */
+    std::uint64_t geometric(double p);
+
+    /** True with probability p. */
+    bool bernoulli(double p);
+
+    /** Fork an independent generator (stream-split by counter). */
+    Rng fork();
+
+  private:
+    std::uint64_t s_[4];
+    double cachedNormal_;
+    bool hasCachedNormal_;
+    std::uint64_t forkCounter_;
+};
+
+/**
+ * Exact Zipf distribution over [0, n) with exponent s, sampled by inverse
+ * transform over a precomputed CDF. Setup is O(n) and sampling is
+ * O(log n); the workload generators construct one per topic universe, so
+ * the setup cost is paid once.
+ */
+class ZipfDistribution
+{
+  public:
+    /** Build the CDF for support size n and exponent s > 0. */
+    ZipfDistribution(std::uint64_t n, double s);
+
+    /** Draw one value in [0, n). */
+    std::uint64_t sample(Rng &rng) const;
+
+    /** Probability mass of value k. */
+    double prob(std::uint64_t k) const;
+
+    /** Support size. */
+    std::uint64_t size() const { return cdf_.size(); }
+
+  private:
+    std::vector<double> cdf_;
+};
+
+} // namespace modm
+
+#endif // MODM_COMMON_RNG_HH

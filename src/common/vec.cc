@@ -1,0 +1,120 @@
+#include "src/common/vec.hh"
+
+#include <cmath>
+
+#include "src/common/log.hh"
+#include "src/common/rng.hh"
+
+namespace modm {
+
+double
+dot(const Vec &a, const Vec &b)
+{
+    MODM_ASSERT(a.size() == b.size(), "dot: dimension mismatch %zu vs %zu",
+                a.size(), b.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+    return acc;
+}
+
+double
+norm(const Vec &a)
+{
+    return std::sqrt(dot(a, a));
+}
+
+double
+distanceSquared(const Vec &a, const Vec &b)
+{
+    MODM_ASSERT(a.size() == b.size(), "distance: dimension mismatch");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = static_cast<double>(a[i]) - b[i];
+        acc += d * d;
+    }
+    return acc;
+}
+
+void
+normalize(Vec &a)
+{
+    const double n = norm(a);
+    if (n <= 0.0)
+        return;
+    const float inv = static_cast<float>(1.0 / n);
+    for (auto &x : a)
+        x *= inv;
+}
+
+Vec
+normalized(const Vec &a)
+{
+    Vec out = a;
+    normalize(out);
+    return out;
+}
+
+double
+cosine(const Vec &a, const Vec &b)
+{
+    const double na = norm(a);
+    const double nb = norm(b);
+    if (na <= 0.0 || nb <= 0.0)
+        return 0.0;
+    return dot(a, b) / (na * nb);
+}
+
+void
+axpy(Vec &a, double s, const Vec &b)
+{
+    MODM_ASSERT(a.size() == b.size(), "axpy: dimension mismatch");
+    for (std::size_t i = 0; i < a.size(); ++i)
+        a[i] += static_cast<float>(s * b[i]);
+}
+
+Vec
+lerp(const Vec &a, const Vec &b, double t)
+{
+    MODM_ASSERT(a.size() == b.size(), "lerp: dimension mismatch");
+    Vec out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out[i] = static_cast<float>((1.0 - t) * a[i] + t * b[i]);
+    return out;
+}
+
+void
+scale(Vec &a, double s)
+{
+    for (auto &x : a)
+        x = static_cast<float>(x * s);
+}
+
+Vec
+gaussianVec(std::size_t dim, Rng &rng)
+{
+    Vec out(dim);
+    for (auto &x : out)
+        x = static_cast<float>(rng.normal());
+    return out;
+}
+
+Vec
+randomUnitVec(std::size_t dim, Rng &rng)
+{
+    Vec out = gaussianVec(dim, rng);
+    normalize(out);
+    return out;
+}
+
+Vec
+jitterUnitVec(const Vec &base, double strength, Rng &rng)
+{
+    Vec noise = randomUnitVec(base.size(), rng);
+    Vec out = base;
+    axpy(out, strength, noise);
+    normalize(out);
+    return out;
+}
+
+} // namespace modm

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Dense float vector math used by the synthetic CLIP embedding space, the
+ * diffusion latent simulator, and the evaluation metrics.
+ *
+ * Vectors are plain std::vector<float>; the helpers here keep hot loops
+ * (dot products against a cache of 100k embeddings) simple enough for the
+ * compiler to vectorise.
+ */
+
+#ifndef MODM_COMMON_VEC_HH
+#define MODM_COMMON_VEC_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace modm {
+
+class Rng;
+
+using Vec = std::vector<float>;
+
+/** Dot product; both vectors must have equal dimension. */
+double dot(const Vec &a, const Vec &b);
+
+/** Euclidean norm. */
+double norm(const Vec &a);
+
+/** Squared Euclidean distance. */
+double distanceSquared(const Vec &a, const Vec &b);
+
+/** Normalize in place to unit length; zero vectors are left unchanged. */
+void normalize(Vec &a);
+
+/** Return a unit-length copy. */
+Vec normalized(const Vec &a);
+
+/** Cosine similarity in [-1, 1]; zero vectors yield 0. */
+double cosine(const Vec &a, const Vec &b);
+
+/** a += s * b. */
+void axpy(Vec &a, double s, const Vec &b);
+
+/** Element-wise convex blend: (1 - t) * a + t * b. */
+Vec lerp(const Vec &a, const Vec &b, double t);
+
+/** Scale in place. */
+void scale(Vec &a, double s);
+
+/** i.i.d. standard normal vector of the given dimension. */
+Vec gaussianVec(std::size_t dim, Rng &rng);
+
+/** Unit vector drawn uniformly from the sphere. */
+Vec randomUnitVec(std::size_t dim, Rng &rng);
+
+/**
+ * Perturb a unit vector by an isotropic random direction of total norm
+ * `strength`, then re-normalize; models "a nearby concept".
+ *
+ * The perturbation norm (not the per-coordinate noise) is what controls
+ * the resulting cosine: cos(out, base) ~= 1 / sqrt(1 + strength^2), so
+ * callers can dial in similarity structure independent of dimension.
+ */
+Vec jitterUnitVec(const Vec &base, double strength, Rng &rng);
+
+} // namespace modm
+
+#endif // MODM_COMMON_VEC_HH

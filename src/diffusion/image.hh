@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Generated image artifact.
+ *
+ * The simulator's stand-in for a 1024x1024 PNG: the visual content is a
+ * unit vector in concept space (what the image depicts), and fidelity is
+ * a scalar in [0, 1] capturing realism / freedom from small-model
+ * defects. Both are measurable by downstream components exactly the way
+ * a real image is: the image encoder embeds the content (with
+ * fidelity-dependent noise) and the quality metrics score content
+ * alignment and the fidelity distribution.
+ */
+
+#ifndef MODM_DIFFUSION_IMAGE_HH
+#define MODM_DIFFUSION_IMAGE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/vec.hh"
+
+namespace modm::diffusion {
+
+/** One generated image. */
+struct Image
+{
+    /** Unique image id (assigned by the sampler). */
+    std::uint64_t id = 0;
+    /** Visual content (unit vector in concept space). */
+    Vec content;
+    /** Realism in [0, 1]; large models score higher. */
+    double fidelity = 0.0;
+    /** Name of the model that produced (or last refined) the image. */
+    std::string modelName;
+    /** Prompt that produced the image. */
+    std::uint64_t promptId = 0;
+    /** Topic of that prompt (workload ground truth, for diagnostics). */
+    std::uint32_t topicId = 0;
+    /** Simulated wall-clock seconds when generation finished. */
+    double createdAt = 0.0;
+    /** Number of de-noising steps actually run. */
+    int stepsRun = 0;
+    /** Compressed size in bytes (storage accounting). */
+    double byteSize = 0.0;
+    /** True when produced by refining a cached image. */
+    bool refined = false;
+};
+
+} // namespace modm::diffusion
+
+#endif // MODM_DIFFUSION_IMAGE_HH

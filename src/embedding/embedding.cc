@@ -1,0 +1,22 @@
+#include "src/embedding/embedding.hh"
+
+#include "src/common/log.hh"
+
+namespace modm::embedding {
+
+Embedding::Embedding(Vec features)
+    : v_(std::move(features))
+{
+    MODM_ASSERT(!v_.empty(), "embedding must be non-empty");
+    normalize(v_);
+}
+
+double
+Embedding::similarity(const Embedding &other) const
+{
+    MODM_ASSERT(valid() && other.valid(),
+                "similarity on an empty embedding");
+    return dot(v_, other.v_);
+}
+
+} // namespace modm::embedding

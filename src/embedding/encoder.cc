@@ -1,0 +1,158 @@
+#include "src/embedding/encoder.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/log.hh"
+#include "src/common/rng.hh"
+#include "src/embedding/tokenizer.hh"
+
+namespace modm::embedding {
+
+namespace {
+
+Vec
+computeTextAnchor(std::size_t dim)
+{
+    Rng rng(0x7e37a11c00001111ULL);
+    return randomUnitVec(dim, rng);
+}
+
+Vec
+computeImageAnchor(std::size_t dim)
+{
+    // Start from an independent direction and remove the text-anchor
+    // component so the two cones are exactly orthogonal.
+    Rng rng(0x13a6e00002222ULL);
+    Vec raw = randomUnitVec(dim, rng);
+    const Vec t = computeTextAnchor(dim);
+    axpy(raw, -dot(raw, t), t);
+    normalize(raw);
+    return raw;
+}
+
+} // namespace
+
+Vec
+textAnchor(std::size_t dim)
+{
+    // Encoders call this on every encode; cache the common dimension.
+    static const Vec cached = computeTextAnchor(kEmbeddingDim);
+    if (dim == kEmbeddingDim)
+        return cached;
+    return computeTextAnchor(dim);
+}
+
+Vec
+imageAnchor(std::size_t dim)
+{
+    static const Vec cached = computeImageAnchor(kEmbeddingDim);
+    if (dim == kEmbeddingDim)
+        return cached;
+    return computeImageAnchor(dim);
+}
+
+namespace {
+
+/**
+ * Remove the anchor-plane components of a content mix so cross-modal
+ * similarity is driven purely by concept agreement: without this, the
+ * random overlap between a concept and the anchors adds a per-concept
+ * similarity bias of ~0.06, large relative to the paper's 0.25-0.30
+ * threshold band.
+ */
+void
+deflateAnchors(Vec &mix, std::size_t dim)
+{
+    const Vec t = textAnchor(dim);
+    const Vec i = imageAnchor(dim);
+    axpy(mix, -dot(mix, t), t);
+    axpy(mix, -dot(mix, i), i);
+}
+
+} // namespace
+
+TextEncoder::TextEncoder(TextEncoderConfig config)
+    : config_(config), anchor_(textAnchor(config.dim))
+{
+    MODM_ASSERT(config_.coneWeight > 0.0 && config_.coneWeight < 1.0,
+                "cone weight must be in (0, 1)");
+}
+
+Embedding
+TextEncoder::encode(const Vec &visual_concept, const Vec &lexical_style,
+                    const std::string &text) const
+{
+    MODM_ASSERT(visual_concept.size() == config_.dim,
+                "text encoder: concept dimension mismatch");
+    MODM_ASSERT(lexical_style.size() == config_.dim,
+                "text encoder: style dimension mismatch");
+    Rng rng(mix64(tokenHash(text) ^ 0x7c1a2b3c4d5e6f70ULL));
+
+    // Content part: concept + lexical contamination + encoder noise.
+    Vec mix = visual_concept;
+    axpy(mix, config_.lexicalWeight, lexical_style);
+    axpy(mix, config_.noise, randomUnitVec(config_.dim, rng));
+    deflateAnchors(mix, config_.dim);
+    normalize(mix);
+
+    // Place on the text cone.
+    const double beta = config_.coneWeight;
+    Vec features = anchor_;
+    scale(features, std::sqrt(1.0 - beta * beta));
+    axpy(features, beta, mix);
+    return Embedding(std::move(features));
+}
+
+ImageEncoder::ImageEncoder(ImageEncoderConfig config)
+    : config_(config), anchor_(imageAnchor(config.dim))
+{
+    MODM_ASSERT(config_.coneWeight > 0.0 && config_.coneWeight < 1.0,
+                "cone weight must be in (0, 1)");
+}
+
+Embedding
+ImageEncoder::encode(const Vec &content, double fidelity,
+                     std::uint64_t image_id) const
+{
+    MODM_ASSERT(content.size() == config_.dim,
+                "image encoder: content dimension mismatch");
+    Rng rng(mix64(image_id ^ 0x51f0e9d8c7b6a594ULL));
+    const double defect = 1.0 - std::clamp(fidelity, 0.0, 1.0);
+    const double noise =
+        config_.noiseBase + config_.noisePerDefect * defect;
+
+    Vec mix = content;
+    axpy(mix, noise, randomUnitVec(config_.dim, rng));
+    deflateAnchors(mix, config_.dim);
+    normalize(mix);
+
+    const double gamma = config_.coneWeight;
+    Vec features = anchor_;
+    scale(features, std::sqrt(1.0 - gamma * gamma));
+    axpy(features, gamma, mix);
+    return Embedding(std::move(features));
+}
+
+Embedding
+HashingTextEncoder::encode(const std::string &text) const
+{
+    Vec features(kEmbeddingDim, 0.0f);
+    const auto tokens = tokenize(text);
+    for (const auto &token : tokens) {
+        std::uint64_t h = tokenHash(token);
+        // Each token contributes to four hashed slots with signs, a
+        // standard feature-hashing scheme.
+        for (int probe = 0; probe < 4; ++probe) {
+            h = mix64(h + probe);
+            const std::size_t slot = h % kEmbeddingDim;
+            const float sign = (h >> 63) ? 1.0f : -1.0f;
+            features[slot] += sign;
+        }
+    }
+    if (tokens.empty())
+        features[0] = 1.0f;
+    return Embedding(std::move(features));
+}
+
+} // namespace modm::embedding

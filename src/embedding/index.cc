@@ -1,0 +1,110 @@
+#include "src/embedding/index.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/log.hh"
+
+namespace modm::embedding {
+
+CosineIndex::CosineIndex(std::size_t dim)
+    : dim_(dim)
+{
+    MODM_ASSERT(dim_ > 0, "index dimension must be positive");
+}
+
+void
+CosineIndex::insert(std::uint64_t id, const Embedding &embedding)
+{
+    MODM_ASSERT(embedding.dim() == dim_,
+                "index insert: dimension %zu != %zu", embedding.dim(), dim_);
+    MODM_ASSERT(!contains(id), "index insert: duplicate id %llu",
+                static_cast<unsigned long long>(id));
+    slotOf_[id] = ids_.size();
+    ids_.push_back(id);
+    rows_.insert(rows_.end(), embedding.vec().begin(),
+                 embedding.vec().end());
+}
+
+bool
+CosineIndex::remove(std::uint64_t id)
+{
+    const auto it = slotOf_.find(id);
+    if (it == slotOf_.end())
+        return false;
+    const std::size_t slot = it->second;
+    const std::size_t last = ids_.size() - 1;
+    if (slot != last) {
+        // Swap the last row into the vacated slot.
+        std::memcpy(&rows_[slot * dim_], &rows_[last * dim_],
+                    dim_ * sizeof(float));
+        ids_[slot] = ids_[last];
+        slotOf_[ids_[slot]] = slot;
+    }
+    rows_.resize(last * dim_);
+    ids_.pop_back();
+    slotOf_.erase(it);
+    return true;
+}
+
+bool
+CosineIndex::contains(std::uint64_t id) const
+{
+    return slotOf_.find(id) != slotOf_.end();
+}
+
+Match
+CosineIndex::best(const Embedding &query) const
+{
+    Match result;
+    if (empty())
+        return result;
+    MODM_ASSERT(query.dim() == dim_, "index query: dimension mismatch");
+    const float *q = query.vec().data();
+    for (std::size_t slot = 0; slot < ids_.size(); ++slot) {
+        const float *row = &rows_[slot * dim_];
+        double acc = 0.0;
+        for (std::size_t i = 0; i < dim_; ++i)
+            acc += static_cast<double>(q[i]) * row[i];
+        if (acc > result.similarity) {
+            result.similarity = acc;
+            result.id = ids_[slot];
+        }
+    }
+    return result;
+}
+
+std::vector<Match>
+CosineIndex::topK(const Embedding &query, std::size_t k) const
+{
+    std::vector<Match> all;
+    if (empty() || k == 0)
+        return all;
+    MODM_ASSERT(query.dim() == dim_, "index query: dimension mismatch");
+    all.reserve(ids_.size());
+    const float *q = query.vec().data();
+    for (std::size_t slot = 0; slot < ids_.size(); ++slot) {
+        const float *row = &rows_[slot * dim_];
+        double acc = 0.0;
+        for (std::size_t i = 0; i < dim_; ++i)
+            acc += static_cast<double>(q[i]) * row[i];
+        all.push_back({ids_[slot], acc});
+    }
+    const std::size_t keep = std::min(k, all.size());
+    std::partial_sort(all.begin(), all.begin() + keep, all.end(),
+                      [](const Match &a, const Match &b) {
+                          return a.similarity > b.similarity;
+                      });
+    all.resize(keep);
+    return all;
+}
+
+void
+CosineIndex::clear()
+{
+    rows_.clear();
+    ids_.clear();
+    slotOf_.clear();
+}
+
+} // namespace modm::embedding

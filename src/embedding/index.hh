@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Cosine-similarity top-k index over embeddings.
+ *
+ * The paper stores 100k image embeddings (~0.29 GB of CLIP vectors) and
+ * reports retrieval latency of ~0.05 s — negligible against 10+ s of
+ * denoising. This index keeps rows in a contiguous flat array so the
+ * brute-force scan is cache-friendly, and supports O(1) removal (swap with
+ * the last row) for FIFO/LRU eviction.
+ */
+
+#ifndef MODM_EMBEDDING_INDEX_HH
+#define MODM_EMBEDDING_INDEX_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/embedding/embedding.hh"
+
+namespace modm::embedding {
+
+/** One retrieval result. */
+struct Match
+{
+    std::uint64_t id = 0;
+    double similarity = -1.0;
+};
+
+/**
+ * Flat cosine index keyed by caller-assigned 64-bit ids.
+ */
+class CosineIndex
+{
+  public:
+    /** Create an index for embeddings of the given dimensionality. */
+    explicit CosineIndex(std::size_t dim = kEmbeddingDim);
+
+    /** Insert an embedding under a fresh id; ids must be unique. */
+    void insert(std::uint64_t id, const Embedding &embedding);
+
+    /** Remove an id; returns false when absent. */
+    bool remove(std::uint64_t id);
+
+    /** True when the id is present. */
+    bool contains(std::uint64_t id) const;
+
+    /** Number of stored embeddings. */
+    std::size_t size() const { return ids_.size(); }
+
+    /** True when empty. */
+    bool empty() const { return ids_.empty(); }
+
+    /**
+     * Best match for a query, or a Match with similarity -1 when the
+     * index is empty.
+     */
+    Match best(const Embedding &query) const;
+
+    /** Top-k matches ordered by decreasing similarity. */
+    std::vector<Match> topK(const Embedding &query, std::size_t k) const;
+
+    /** Remove everything. */
+    void clear();
+
+  private:
+    std::size_t dim_;
+    std::vector<float> rows_;                    // size() * dim_ floats
+    std::vector<std::uint64_t> ids_;             // slot -> id
+    std::unordered_map<std::uint64_t, std::size_t> slotOf_; // id -> slot
+};
+
+} // namespace modm::embedding
+
+#endif // MODM_EMBEDDING_INDEX_HH

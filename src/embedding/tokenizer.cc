@@ -1,0 +1,38 @@
+#include "src/embedding/tokenizer.hh"
+
+#include <cctype>
+
+namespace modm::embedding {
+
+std::vector<std::string>
+tokenize(const std::string &text)
+{
+    std::vector<std::string> tokens;
+    std::string current;
+    for (unsigned char ch : text) {
+        if (std::isalnum(ch)) {
+            current.push_back(
+                static_cast<char>(std::tolower(ch)));
+        } else if (!current.empty()) {
+            tokens.push_back(std::move(current));
+            current.clear();
+        }
+    }
+    if (!current.empty())
+        tokens.push_back(std::move(current));
+    return tokens;
+}
+
+std::uint64_t
+tokenHash(const std::string &token)
+{
+    // FNV-1a, 64-bit.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char ch : token) {
+        h ^= ch;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+} // namespace modm::embedding

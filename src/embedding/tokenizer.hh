@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Minimal prompt tokenizer: lowercases, strips punctuation, and splits on
+ * whitespace. Used by the hashing text encoder and by the workload
+ * generator's prompt realization.
+ */
+
+#ifndef MODM_EMBEDDING_TOKENIZER_HH
+#define MODM_EMBEDDING_TOKENIZER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace modm::embedding {
+
+/** Split a prompt into lowercase alphanumeric tokens. */
+std::vector<std::string> tokenize(const std::string &text);
+
+/** Stable 64-bit FNV-1a hash of a token. */
+std::uint64_t tokenHash(const std::string &token);
+
+} // namespace modm::embedding
+
+#endif // MODM_EMBEDDING_TOKENIZER_HH

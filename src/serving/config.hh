@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Configuration of a serving experiment: which system (MoDM or one of
+ * the paper's baselines), which models, cluster shape, cache parameters,
+ * and monitor mode.
+ */
+
+#ifndef MODM_SERVING_CONFIG_HH
+#define MODM_SERVING_CONFIG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/cache/image_cache.hh"
+#include "src/cache/latent_cache.hh"
+#include "src/diffusion/model_spec.hh"
+#include "src/diffusion/sampler.hh"
+#include "src/embedding/encoder.hh"
+#include "src/serving/k_decision.hh"
+#include "src/serving/monitor.hh"
+#include "src/serving/pid.hh"
+
+namespace modm::serving {
+
+/** Which serving policy to run (MoDM or a baseline from §6). */
+enum class SystemKind
+{
+    MoDM,             ///< this paper
+    Vanilla,          ///< large model only, no cache
+    Nirvana,          ///< latent cache + k-skip on the large model
+    Pinecone,         ///< retrieve-or-generate, no refinement
+    StandaloneSmall,  ///< small/distilled model only, no cache
+};
+
+/** Printable system name. */
+const char *systemKindName(SystemKind kind);
+
+/** What gets admitted to MoDM's image cache (Fig. 9 ablation). */
+enum class AdmissionPolicy
+{
+    CacheAll,        ///< cache images from both models (default)
+    CacheLargeOnly,  ///< cache only large-model (cache-miss) images
+};
+
+/** Full experiment configuration. */
+struct ServingConfig
+{
+    SystemKind kind = SystemKind::MoDM;
+
+    /** The high-quality model (SD3.5L or FLUX in the paper). */
+    diffusion::ModelSpec largeModel = diffusion::sd35Large();
+    /**
+     * Small-model candidates in decreasing quality order. MoDM's
+     * monitor picks the best one that meets load (Fig. 10's
+     * SDXL -> SANA escalation). Baselines use the first entry.
+     */
+    std::vector<diffusion::ModelSpec> smallModels = {diffusion::sdxl()};
+
+    /** Cluster shape. */
+    std::size_t numWorkers = 4;
+    diffusion::GpuKind gpu = diffusion::GpuKind::A40;
+    double idlePowerW = 60.0;
+
+    /** Image cache (MoDM / Pinecone). */
+    std::size_t cacheCapacity = 10000;
+    cache::EvictionPolicy cachePolicy = cache::EvictionPolicy::FIFO;
+    AdmissionPolicy admission = AdmissionPolicy::CacheAll;
+
+    /** Latent cache (Nirvana). */
+    std::size_t latentCacheCapacity = 10000;
+    cache::NirvanaThresholds nirvana = {};
+
+    /** Monitor. */
+    MonitorMode mode = MonitorMode::ThroughputOptimized;
+    double monitorPeriod = 60.0;
+    PidGains pid = {};
+
+    /** Cache-hit thresholds and k table (Fig. 5b). */
+    KDecisionConfig kDecision = {};
+
+    /**
+     * Pinecone's direct-return threshold. Pinecone retrieves by
+     * *text-to-text* similarity (paper §6: "the most similar prompt
+     * using CLIP text embedding similarity") and returns the cached
+     * image unrefined — the root of its weak image-text alignment in
+     * Tables 2/3.
+     */
+    double pineconeThreshold = 0.94;
+    /** Retrieval latency charged to direct returns (paper: ~0.05 s). */
+    double retrievalLatency = 0.05;
+
+    /**
+     * Maximum classified-but-undispatched jobs; additional arrivals
+     * wait unclassified so late requests see an up-to-date cache.
+     * 0 = auto (4x numWorkers).
+     */
+    std::size_t intakeLookahead = 0;
+
+    /** Synthetic CLIP towers. */
+    embedding::TextEncoderConfig textEncoder = {};
+    embedding::ImageEncoderConfig imageEncoder = {};
+
+    /** Diffusion response model. */
+    diffusion::SamplerConfig sampler = {};
+    diffusion::ScheduleConfig schedule = {};
+
+    /** Keep (prompt, image) outputs for quality evaluation. */
+    bool keepOutputs = false;
+
+    /** Experiment seed. */
+    std::uint64_t seed = 42;
+};
+
+} // namespace modm::serving
+
+#endif // MODM_SERVING_CONFIG_HH

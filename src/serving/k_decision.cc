@@ -1,0 +1,90 @@
+#include "src/serving/k_decision.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "src/common/log.hh"
+
+namespace modm::serving {
+
+KDecision::KDecision(KDecisionConfig config)
+    : config_(std::move(config))
+{
+    MODM_ASSERT(!config_.floors.empty(), "k-decision table is empty");
+    MODM_ASSERT(config_.floors.size() == config_.ks.size(),
+                "k-decision floors and ks must align");
+    MODM_ASSERT(std::is_sorted(config_.floors.begin(),
+                               config_.floors.end()),
+                "k-decision floors must be ascending");
+}
+
+bool
+KDecision::isHit(double similarity) const
+{
+    return similarity >= config_.floors.front();
+}
+
+int
+KDecision::decide(double similarity) const
+{
+    MODM_ASSERT(isHit(similarity),
+                "decide() below the hit gate (%f)", similarity);
+    int k = config_.ks.front();
+    for (std::size_t i = 0; i < config_.floors.size(); ++i) {
+        if (similarity >= config_.floors[i])
+            k = config_.ks[i];
+    }
+    return k;
+}
+
+KDecisionConfig
+KDecision::calibrate(const std::vector<CalibrationPoint> &points,
+                     double alpha, double bucket)
+{
+    MODM_ASSERT(!points.empty(), "calibrate with no points");
+    MODM_ASSERT(bucket > 0.0, "bucket width must be positive");
+
+    // Group by k, then bucket by similarity and average quality.
+    std::map<int, std::map<long, std::pair<double, std::size_t>>> grouped;
+    for (const auto &p : points) {
+        const long b = std::lround(p.similarity / bucket);
+        auto &cell = grouped[p.k][b];
+        cell.first += p.qualityFactor;
+        cell.second += 1;
+    }
+
+    KDecisionConfig out;
+    out.floors.clear();
+    out.ks.clear();
+    for (const auto &[k, buckets] : grouped) {
+        // Find the lowest bucket from which all higher buckets stay
+        // above alpha (quality is monotone in similarity, but noise can
+        // produce isolated dips; scanning from the top is robust).
+        double floor = 0.0;
+        bool found = false;
+        for (auto it = buckets.rbegin(); it != buckets.rend(); ++it) {
+            const double mean = it->second.first /
+                static_cast<double>(it->second.second);
+            if (mean >= alpha) {
+                floor = static_cast<double>(it->first) * bucket;
+                found = true;
+            } else {
+                break;
+            }
+        }
+        if (found) {
+            out.floors.push_back(floor);
+            out.ks.push_back(k);
+        }
+    }
+    MODM_ASSERT(!out.floors.empty(),
+                "calibration found no feasible (k, similarity) region");
+    // Sort by k ascending; floors should then ascend too. Enforce
+    // monotonicity against residual noise.
+    for (std::size_t i = 1; i < out.floors.size(); ++i)
+        out.floors[i] = std::max(out.floors[i], out.floors[i - 1]);
+    return out;
+}
+
+} // namespace modm::serving

@@ -1,0 +1,128 @@
+#include "src/serving/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/log.hh"
+
+namespace modm::serving {
+
+void
+MetricsCollector::record(const RequestRecord &record)
+{
+    MODM_ASSERT(record.finish >= record.arrival,
+                "request finished before it arrived");
+    records_.push_back(record);
+}
+
+double
+MetricsCollector::hitRate() const
+{
+    if (records_.empty())
+        return 0.0;
+    std::size_t hits = 0;
+    for (const auto &r : records_)
+        hits += r.cacheHit ? 1 : 0;
+    return static_cast<double>(hits) /
+        static_cast<double>(records_.size());
+}
+
+double
+MetricsCollector::meanK() const
+{
+    std::size_t hits = 0;
+    double sum = 0.0;
+    for (const auto &r : records_) {
+        if (r.cacheHit) {
+            ++hits;
+            sum += r.k;
+        }
+    }
+    return hits ? sum / static_cast<double>(hits) : 0.0;
+}
+
+std::map<int, double>
+MetricsCollector::kDistribution() const
+{
+    std::map<int, double> dist;
+    std::size_t hits = 0;
+    for (const auto &r : records_) {
+        if (r.cacheHit) {
+            ++hits;
+            dist[r.k] += 1.0;
+        }
+    }
+    if (hits) {
+        for (auto &[k, v] : dist)
+            v /= static_cast<double>(hits);
+    }
+    return dist;
+}
+
+double
+MetricsCollector::latencyPercentile(double p) const
+{
+    PercentileTracker tracker;
+    for (const auto &r : records_)
+        tracker.add(r.latency());
+    return tracker.percentile(p);
+}
+
+double
+MetricsCollector::meanLatency() const
+{
+    if (records_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &r : records_)
+        sum += r.latency();
+    return sum / static_cast<double>(records_.size());
+}
+
+double
+MetricsCollector::sloViolationRate(double threshold_seconds) const
+{
+    if (records_.empty())
+        return 0.0;
+    std::size_t violations = 0;
+    for (const auto &r : records_)
+        violations += r.latency() > threshold_seconds ? 1 : 0;
+    return static_cast<double>(violations) /
+        static_cast<double>(records_.size());
+}
+
+double
+MetricsCollector::throughputPerMinute() const
+{
+    if (records_.empty())
+        return 0.0;
+    const double span = lastCompletion();
+    if (span <= 0.0)
+        return 0.0;
+    return static_cast<double>(records_.size()) * 60.0 / span;
+}
+
+double
+MetricsCollector::lastCompletion() const
+{
+    double last = 0.0;
+    for (const auto &r : records_)
+        last = std::max(last, r.finish);
+    return last;
+}
+
+std::vector<double>
+MetricsCollector::completionsPerMinute(double duration) const
+{
+    const std::size_t buckets = static_cast<std::size_t>(
+        std::ceil(std::max(duration, 1.0) / 60.0));
+    std::vector<double> out(buckets, 0.0);
+    for (const auto &r : records_) {
+        const auto b = static_cast<std::size_t>(r.finish / 60.0);
+        if (b < buckets)
+            out[b] += 1.0;
+    }
+    return out;
+}
+
+} // namespace modm::serving

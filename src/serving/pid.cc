@@ -1,0 +1,30 @@
+#include "src/serving/pid.hh"
+
+namespace modm::serving {
+
+PidController::PidController(PidGains gains)
+    : gains_(gains)
+{
+}
+
+double
+PidController::compute(double setpoint, double measured)
+{
+    const double error = setpoint - measured;
+    integral_ += error;
+    const double derivative = hasPrev_ ? error - prevError_ : 0.0;
+    prevError_ = error;
+    hasPrev_ = true;
+    return gains_.kp * error + gains_.ki * integral_ +
+        gains_.kd * derivative;
+}
+
+void
+PidController::reset()
+{
+    integral_ = 0.0;
+    prevError_ = 0.0;
+    hasPrev_ = false;
+}
+
+} // namespace modm::serving

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * PID controller stabilising the global monitor's GPU allocation
+ * (paper §5.3, Algorithm 1 lines 25-27).
+ *
+ * The heuristic allocation reacts instantly to measured load; the PID
+ * term damps that reaction so allocation changes are gradual and the
+ * cluster does not thrash model loads. Paper tuning: Kp = 0.6,
+ * Ki = 0.05, Kd = 0.05.
+ */
+
+#ifndef MODM_SERVING_PID_HH
+#define MODM_SERVING_PID_HH
+
+namespace modm::serving {
+
+/** PID gains. */
+struct PidGains
+{
+    double kp = 0.6;
+    double ki = 0.05;
+    double kd = 0.05;
+};
+
+/**
+ * Discrete PID controller with unit timestep (one monitor period).
+ */
+class PidController
+{
+  public:
+    /** Construct with gains. */
+    explicit PidController(PidGains gains = {});
+
+    /**
+     * One control step: returns the adjustment to apply toward
+     * `setpoint` given the current `measured` value.
+     */
+    double compute(double setpoint, double measured);
+
+    /** Reset integral and derivative state. */
+    void reset();
+
+    /** Accumulated integral term (for tests/telemetry). */
+    double integral() const { return integral_; }
+
+  private:
+    PidGains gains_;
+    double integral_ = 0.0;
+    double prevError_ = 0.0;
+    bool hasPrev_ = false;
+};
+
+} // namespace modm::serving
+
+#endif // MODM_SERVING_PID_HH

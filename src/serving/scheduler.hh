@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Request Scheduler (paper §4.2, §5.2): classifies incoming requests
+ * into cache hits and misses, performs retrieval and k-selection, and
+ * maintains cache content as generations complete.
+ *
+ * The scheduler owns the text tower (the paper hosts a CLIP model in the
+ * scheduler process), MoDM's image cache, and — when running the Nirvana
+ * baseline — the latent cache.
+ */
+
+#ifndef MODM_SERVING_SCHEDULER_HH
+#define MODM_SERVING_SCHEDULER_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/cache/image_cache.hh"
+#include "src/cache/latent_cache.hh"
+#include "src/diffusion/image.hh"
+#include "src/embedding/encoder.hh"
+#include "src/serving/config.hh"
+#include "src/serving/k_decision.hh"
+#include "src/workload/prompt.hh"
+
+namespace modm::serving {
+
+/** A classified request ready for queueing/dispatch. */
+struct ClassifiedJob
+{
+    workload::Request request;
+    embedding::Embedding textEmbedding;
+    /** True when served from cache (refinement or direct return). */
+    bool hit = false;
+    /** True when the cached image is returned without refinement. */
+    bool direct = false;
+    /** Steps to skip when refining. */
+    int k = 0;
+    /** Retrieval similarity (text-to-image for MoDM/Pinecone,
+     *  text-to-text for Nirvana); -1 on miss. */
+    double similarity = -1.0;
+    /** Copy of the retrieved image (valid when hit). */
+    diffusion::Image base;
+    /** Classification timestamp. */
+    double classifiedAt = 0.0;
+};
+
+/** Aggregate scheduler counters. */
+struct SchedulerStats
+{
+    std::uint64_t classified = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t directReturns = 0;
+    std::map<int, std::uint64_t> kCounts;
+};
+
+/**
+ * The request scheduler. Behaviour varies with the configured
+ * SystemKind, so one implementation serves MoDM and every baseline.
+ */
+class RequestScheduler
+{
+  public:
+    /** Construct per the experiment configuration. */
+    explicit RequestScheduler(const ServingConfig &config);
+
+    /**
+     * Classify a request at simulated time `now`: embed the prompt,
+     * retrieve from the appropriate cache, apply thresholds, select k.
+     */
+    ClassifiedJob classify(const workload::Request &request, double now);
+
+    /**
+     * Admit a finished generation to the cache per the system's
+     * admission policy.
+     *
+     * @param image The generated image.
+     * @param text_embedding Text embedding of the producing prompt.
+     * @param from_miss True when the image came from a cache miss
+     *        (i.e., was produced by the large model from scratch).
+     * @param now Simulated time.
+     */
+    void admitGenerated(const diffusion::Image &image,
+                        const embedding::Embedding &text_embedding,
+                        bool from_miss, double now);
+
+    /** MoDM/Pinecone image cache (present for those kinds). */
+    cache::ImageCache *imageCache() { return imageCache_.get(); }
+
+    /** Const image-cache access. */
+    const cache::ImageCache *imageCache() const { return imageCache_.get(); }
+
+    /** Nirvana latent cache (null for other kinds). */
+    cache::LatentCache *latentCache() { return latentCache_.get(); }
+
+    /** Const latent-cache access. */
+    const cache::LatentCache *latentCache() const
+    {
+        return latentCache_.get();
+    }
+
+    /** Text tower. */
+    const embedding::TextEncoder &textEncoder() const { return text_; }
+
+    /** The k-decision table. */
+    const KDecision &kDecision() const { return kDecision_; }
+
+    /** Counters. */
+    const SchedulerStats &stats() const { return stats_; }
+
+    /**
+     * Ages (seconds between retrieval and the retrieved image's
+     * creation) of every cache hit — the Fig. 15 temporal-locality data.
+     */
+    const std::vector<double> &hitAges() const { return hitAges_; }
+
+  private:
+    SystemKind kind_;
+    double pineconeThreshold_;
+    embedding::TextEncoder text_;
+    KDecision kDecision_;
+    AdmissionPolicy admission_;
+    std::unique_ptr<cache::ImageCache> imageCache_;
+    std::unique_ptr<cache::LatentCache> latentCache_;
+    SchedulerStats stats_;
+    std::vector<double> hitAges_;
+};
+
+} // namespace modm::serving
+
+#endif // MODM_SERVING_SCHEDULER_HH

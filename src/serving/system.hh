@@ -1,0 +1,148 @@
+/**
+ * @file
+ * The end-to-end serving system: request scheduler + global monitor +
+ * GPU workers wired onto the discrete-event simulator (paper Fig. 4).
+ *
+ * One ServingSystem instance runs one experiment: optionally warm the
+ * cache, then replay a request trace to completion and return every
+ * metric the paper reports. The same class executes MoDM and all four
+ * baselines (selected by ServingConfig::kind), so comparisons differ
+ * only in policy.
+ */
+
+#ifndef MODM_SERVING_SYSTEM_HH
+#define MODM_SERVING_SYSTEM_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/diffusion/sampler.hh"
+#include "src/serving/config.hh"
+#include "src/serving/metrics.hh"
+#include "src/serving/monitor.hh"
+#include "src/serving/scheduler.hh"
+#include "src/sim/cluster.hh"
+#include "src/sim/event_queue.hh"
+#include "src/workload/trace.hh"
+
+namespace modm::serving {
+
+/** Allocation decision at a point in time (for Fig. 10-style plots). */
+struct AllocationSnapshot
+{
+    double time = 0.0;
+    int numLarge = 0;
+    std::size_t smallModelIndex = 0;
+};
+
+/** Everything an experiment produces. */
+struct ServingResult
+{
+    /** Per-request records and aggregates. */
+    MetricsCollector metrics;
+    /** Virtual time of the last completion. */
+    double duration = 0.0;
+    /** Completed requests per minute over the run. */
+    double throughputPerMin = 0.0;
+    /** Cache hit rate. */
+    double hitRate = 0.0;
+    /** Total cluster energy (compute + idle) in joules. */
+    double energyJ = 0.0;
+    /** Model switches across workers. */
+    std::uint64_t modelSwitches = 0;
+    /** Monitor decisions over time. */
+    std::vector<AllocationSnapshot> allocations;
+    /** Cache-hit retrieval ages (Fig. 15). */
+    std::vector<double> hitAges;
+    /** Final cache occupancy. */
+    std::size_t cacheSize = 0;
+    /** Final cache bytes. */
+    double cacheBytes = 0.0;
+    /** Served prompts (parallel to images; kept when keepOutputs). */
+    std::vector<workload::Prompt> prompts;
+    /** Output images (kept when keepOutputs). */
+    std::vector<diffusion::Image> images;
+};
+
+/**
+ * The serving system.
+ */
+class ServingSystem
+{
+  public:
+    /** Build scheduler, monitor, sampler, and cluster from config. */
+    explicit ServingSystem(ServingConfig config);
+
+    /**
+     * Pre-populate the cache with full large-model generations of the
+     * given prompts (the paper's warm-up phase). Must be called before
+     * run(). Warm images carry createdAt = 0.
+     */
+    void warmCache(const std::vector<workload::Prompt> &prompts);
+
+    /**
+     * Replay a trace (arrivals must be non-decreasing) until every
+     * request completes; single-shot per instance.
+     */
+    ServingResult run(const workload::Trace &trace);
+
+    /** Active configuration. */
+    const ServingConfig &config() const { return config_; }
+
+    /** The scheduler (exposed for tests and diagnostics). */
+    const RequestScheduler &scheduler() const { return *scheduler_; }
+
+  private:
+    /** Move arrivals into classified queues while within lookahead. */
+    void processIntake();
+    /** Dispatch queued jobs to idle workers per current allocation. */
+    void tryDispatch();
+    /** Worker role under the current allocation. */
+    bool isLargeRole(std::size_t worker_index) const;
+    /** Handle a finished generation. */
+    void onJobComplete(std::size_t worker_index, const ClassifiedJob &job,
+                       double dispatch_time, bool used_large,
+                       std::size_t small_index);
+    /** Complete a direct (no-GPU) cache return. */
+    void completeDirect(const ClassifiedJob &job);
+    /** Monitor tick. */
+    void onMonitorTick();
+    /** Record outputs and metrics for a served request. */
+    void finishRequest(const ClassifiedJob &job, double start,
+                       double finish, ServeKind kind,
+                       const std::string &served_by,
+                       const diffusion::Image *image);
+
+    ServingConfig config_;
+    std::size_t lookahead_;
+    diffusion::Sampler sampler_;
+    std::unique_ptr<RequestScheduler> scheduler_;
+    std::unique_ptr<GlobalMonitor> monitor_;
+    sim::Cluster cluster_;
+    sim::EventQueue events_;
+
+    std::deque<workload::Request> intake_;   // arrived, unclassified
+    std::deque<ClassifiedJob> largeQueue_;   // needs the large model
+    std::deque<ClassifiedJob> smallQueue_;   // refinements for small
+
+    Allocation allocation_;
+    std::size_t completed_ = 0;
+    std::size_t total_ = 0;
+    bool ran_ = false;
+
+    // Per-monitor-period counters.
+    std::uint64_t periodArrivals_ = 0;
+    std::uint64_t periodHits_ = 0;
+    std::uint64_t periodMisses_ = 0;
+    std::map<int, std::uint64_t> periodKCounts_;
+    MonitorInputs lastInputs_;
+    bool haveInputs_ = false;
+
+    ServingResult result_;
+};
+
+} // namespace modm::serving
+
+#endif // MODM_SERVING_SYSTEM_HH

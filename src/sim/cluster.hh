@@ -1,0 +1,67 @@
+/**
+ * @file
+ * A homogeneous pool of GPU workers.
+ */
+
+#ifndef MODM_SIM_CLUSTER_HH
+#define MODM_SIM_CLUSTER_HH
+
+#include <string>
+#include <vector>
+
+#include "src/sim/worker.hh"
+
+namespace modm::sim {
+
+/**
+ * Fixed-size collection of workers of one GPU kind, with lookup helpers
+ * the dispatcher uses.
+ */
+class Cluster
+{
+  public:
+    /** Create `count` workers of the given kind. */
+    Cluster(std::size_t count, diffusion::GpuKind kind,
+            double idle_power_w = 60.0);
+
+    /** Number of workers. */
+    std::size_t size() const { return workers_.size(); }
+
+    /** GPU kind of the pool. */
+    diffusion::GpuKind kind() const { return kind_; }
+
+    /** Worker access. */
+    Worker &worker(std::size_t i);
+
+    /** Const worker access. */
+    const Worker &worker(std::size_t i) const;
+
+    /**
+     * Index of an idle worker at `now` whose resident model equals
+     * `model_name`, preferring one that avoids a load; -1 when none.
+     */
+    int findIdleWithModel(const std::string &model_name, double now) const;
+
+    /** Index of any idle worker at `now`; -1 when none. */
+    int findAnyIdle(double now) const;
+
+    /** Total completed jobs across workers. */
+    std::uint64_t totalJobs() const;
+
+    /** Total compute + idle energy over an experiment duration. */
+    double totalEnergyJ(double duration) const;
+
+    /** Total model switches across workers. */
+    std::uint64_t totalModelSwitches() const;
+
+    /** Aggregate busy seconds across workers. */
+    double totalBusySeconds() const;
+
+  private:
+    diffusion::GpuKind kind_;
+    std::vector<Worker> workers_;
+};
+
+} // namespace modm::sim
+
+#endif // MODM_SIM_CLUSTER_HH

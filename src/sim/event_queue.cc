@@ -1,0 +1,58 @@
+#include "src/sim/event_queue.hh"
+
+#include "src/common/log.hh"
+
+namespace modm::sim {
+
+void
+EventQueue::schedule(double time, Handler handler)
+{
+    MODM_ASSERT(time >= now_ - 1e-9,
+                "cannot schedule in the past (%f < %f)", time, now_);
+    events_.push(Event{time, nextSeq_++, std::move(handler)});
+}
+
+void
+EventQueue::scheduleAfter(double delay, Handler handler)
+{
+    MODM_ASSERT(delay >= 0.0, "negative delay");
+    schedule(now_ + delay, std::move(handler));
+}
+
+double
+EventQueue::peekTime() const
+{
+    MODM_ASSERT(!events_.empty(), "peekTime on empty queue");
+    return events_.top().time;
+}
+
+bool
+EventQueue::runNext()
+{
+    if (events_.empty())
+        return false;
+    // Copy out before pop: the handler may schedule new events.
+    Event event = events_.top();
+    events_.pop();
+    now_ = event.time;
+    event.handler();
+    return true;
+}
+
+void
+EventQueue::runAll()
+{
+    while (runNext()) {
+    }
+}
+
+void
+EventQueue::runUntil(double limit)
+{
+    while (!events_.empty() && events_.top().time <= limit)
+        runNext();
+    if (now_ < limit)
+        now_ = limit;
+}
+
+} // namespace modm::sim

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Discrete-event simulation core: a time-ordered queue of callbacks with
+ * a virtual clock. All serving experiments run on virtual time, making
+ * hour-long GPU-cluster traces reproducible and fast.
+ */
+
+#ifndef MODM_SIM_EVENT_QUEUE_HH
+#define MODM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace modm::sim {
+
+/**
+ * Event queue with a monotonically advancing virtual clock.
+ * Simultaneous events run in scheduling order (FIFO tie-break), which
+ * keeps simulations deterministic.
+ */
+class EventQueue
+{
+  public:
+    using Handler = std::function<void()>;
+
+    /** Schedule a callback at an absolute virtual time >= now(). */
+    void schedule(double time, Handler handler);
+
+    /** Schedule a callback `delay` seconds from now. */
+    void scheduleAfter(double delay, Handler handler);
+
+    /** Current virtual time (seconds). */
+    double now() const { return now_; }
+
+    /** True when no events are pending. */
+    bool empty() const { return events_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return events_.size(); }
+
+    /** Time of the earliest pending event; panics when empty. */
+    double peekTime() const;
+
+    /**
+     * Pop and run the earliest event, advancing the clock. Returns
+     * false when the queue is empty.
+     */
+    bool runNext();
+
+    /** Run events until the queue is empty. */
+    void runAll();
+
+    /**
+     * Run events with time <= limit; the clock ends at
+     * min(limit, last event time).
+     */
+    void runUntil(double limit);
+
+  private:
+    struct Event
+    {
+        double time;
+        std::uint64_t seq;
+        Handler handler;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.time != b.time)
+                return a.time > b.time;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> events_;
+    double now_ = 0.0;
+    std::uint64_t nextSeq_ = 0;
+};
+
+} // namespace modm::sim
+
+#endif // MODM_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,44 @@
+#include "src/sim/worker.hh"
+
+#include <algorithm>
+
+#include "src/common/log.hh"
+
+namespace modm::sim {
+
+Worker::Worker(int id, diffusion::GpuKind kind, double idle_power_w)
+    : id_(id), kind_(kind), idlePowerW_(idle_power_w)
+{
+}
+
+double
+Worker::startJob(const diffusion::ModelSpec &model, int steps, double now)
+{
+    MODM_ASSERT(!busyAt(now), "worker %d already busy at %f", id_, now);
+    MODM_ASSERT(steps >= 1, "job must run at least one step");
+
+    double start = now;
+    if (residentModel_ != model.name) {
+        start += model.loadLatency;
+        stats_.switchSeconds += model.loadLatency;
+        if (!residentModel_.empty())
+            ++stats_.modelSwitches;
+        residentModel_ = model.name;
+    }
+    const double compute = steps * model.stepLatency(kind_);
+    freeAt_ = start + compute;
+    ++stats_.jobs;
+    stats_.busySeconds += freeAt_ - now;
+    stats_.computeEnergyJ += model.stepEnergyJ(kind_, steps);
+    return freeAt_;
+}
+
+double
+Worker::totalEnergyJ(double duration) const
+{
+    const double idleSeconds =
+        std::max(duration - stats_.busySeconds, 0.0);
+    return stats_.computeEnergyJ + idleSeconds * idlePowerW_;
+}
+
+} // namespace modm::sim

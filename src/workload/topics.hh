@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Topic universe for the synthetic prompt workloads.
+ *
+ * Production text-to-image traffic clusters into topics of uneven
+ * popularity (fan art, landscapes, portraits, ...). Each topic owns a
+ * visual-concept center, a lexical-style center, and a word pool used to
+ * realize surface text. Topic popularity follows a Zipf distribution, the
+ * standard model for such skew.
+ */
+
+#ifndef MODM_WORKLOAD_TOPICS_HH
+#define MODM_WORKLOAD_TOPICS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.hh"
+#include "src/common/vec.hh"
+
+namespace modm::workload {
+
+/** Static description of one topic. */
+struct Topic
+{
+    /** Center of the topic's visual concepts (unit vector). */
+    Vec visualCenter;
+    /** Center of the topic's lexical styles (unit vector). */
+    Vec lexicalCenter;
+    /** Words used to realize prompt text for this topic. */
+    std::vector<std::string> words;
+};
+
+/** Configuration for the topic universe. */
+struct TopicUniverseConfig
+{
+    /** Number of topics. */
+    std::size_t numTopics = 400;
+    /** Embedding-space dimensionality. */
+    std::size_t dim = 64;
+    /** Zipf exponent for topic popularity; higher = more skew. */
+    double zipfExponent = 1.05;
+    /** Words per topic pool. */
+    std::size_t wordsPerTopic = 24;
+};
+
+/**
+ * The set of all topics plus the popularity distribution over them.
+ * Construction is deterministic in the seed.
+ */
+class TopicUniverse
+{
+  public:
+    /** Build all topics. */
+    TopicUniverse(const TopicUniverseConfig &config, std::uint64_t seed);
+
+    /** Sample a topic id by Zipf popularity. */
+    std::uint32_t sampleTopic(Rng &rng) const;
+
+    /** Sample a topic id uniformly (used by the MJHQ-like model). */
+    std::uint32_t sampleTopicUniform(Rng &rng) const;
+
+    /** Access a topic. */
+    const Topic &topic(std::uint32_t id) const;
+
+    /** Number of topics. */
+    std::size_t size() const { return topics_.size(); }
+
+    /** Embedding dimensionality. */
+    std::size_t dim() const { return config_.dim; }
+
+    /**
+     * Realize a surface text for a topic: a handful of topic words plus
+     * style filler, deterministic in the rng stream.
+     */
+    std::string realizeText(std::uint32_t topic_id, Rng &rng) const;
+
+  private:
+    TopicUniverseConfig config_;
+    std::vector<Topic> topics_;
+    ZipfDistribution popularity_;
+};
+
+} // namespace modm::workload
+
+#endif // MODM_WORKLOAD_TOPICS_HH

@@ -1,0 +1,51 @@
+#include "src/workload/trace.hh"
+
+namespace modm::workload {
+
+Trace
+buildTrace(TraceGenerator &generator, ArrivalProcess &arrivals,
+           std::size_t n, Rng &rng)
+{
+    Trace trace;
+    trace.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        Request request;
+        request.prompt = generator.next();
+        request.arrival = arrivals.next(rng);
+        trace.push_back(std::move(request));
+    }
+    return trace;
+}
+
+Trace
+buildTraceForDuration(TraceGenerator &generator, ArrivalProcess &arrivals,
+                      double duration, Rng &rng)
+{
+    Trace trace;
+    while (true) {
+        const double t = arrivals.next(rng);
+        if (t > duration)
+            break;
+        Request request;
+        request.prompt = generator.next();
+        request.arrival = t;
+        trace.push_back(std::move(request));
+    }
+    return trace;
+}
+
+Trace
+buildBatchTrace(TraceGenerator &generator, std::size_t n)
+{
+    Trace trace;
+    trace.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        Request request;
+        request.prompt = generator.next();
+        request.arrival = 0.0;
+        trace.push_back(std::move(request));
+    }
+    return trace;
+}
+
+} // namespace modm::workload

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Trace assembly: pairs a prompt stream with an arrival process to form
+ * the request traces replayed by the serving experiments.
+ */
+
+#ifndef MODM_WORKLOAD_TRACE_HH
+#define MODM_WORKLOAD_TRACE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/rng.hh"
+#include "src/workload/arrivals.hh"
+#include "src/workload/generator.hh"
+#include "src/workload/prompt.hh"
+
+namespace modm::workload {
+
+/** An ordered request trace. */
+using Trace = std::vector<Request>;
+
+/**
+ * Build a trace of n requests: prompts from the generator, timestamps
+ * from the arrival process.
+ */
+Trace buildTrace(TraceGenerator &generator, ArrivalProcess &arrivals,
+                 std::size_t n, Rng &rng);
+
+/**
+ * Build a trace covering a fixed duration (seconds) instead of a fixed
+ * request count; used by the rate-schedule experiments.
+ */
+Trace buildTraceForDuration(TraceGenerator &generator,
+                            ArrivalProcess &arrivals, double duration,
+                            Rng &rng);
+
+/**
+ * Build a zero-load trace: n prompts all arriving at time zero. The
+ * throughput experiments (paper §6, "ignoring timestamps") use this to
+ * measure maximum sustained throughput with the system always busy.
+ */
+Trace buildBatchTrace(TraceGenerator &generator, std::size_t n);
+
+} // namespace modm::workload
+
+#endif // MODM_WORKLOAD_TRACE_HH

@@ -1,0 +1,152 @@
+#include "src/workload/trace_io.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/common/log.hh"
+
+namespace modm::workload {
+
+namespace {
+
+constexpr char kHeader[] =
+    "arrival,prompt_id,topic_id,user_id,session_id,text,visual,lexical";
+
+std::string
+encodeVec(const Vec &v)
+{
+    std::ostringstream out;
+    out.precision(9);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        if (i)
+            out << ';';
+        out << v[i];
+    }
+    return out.str();
+}
+
+Vec
+decodeVec(const std::string &field)
+{
+    Vec out;
+    std::istringstream in(field);
+    std::string token;
+    while (std::getline(in, token, ';')) {
+        if (!token.empty())
+            out.push_back(std::stof(token));
+    }
+    return out;
+}
+
+std::string
+quote(const std::string &text)
+{
+    std::string out = "\"";
+    for (char ch : text) {
+        if (ch == '"')
+            out += "\"\"";
+        else
+            out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+/** Split one CSV row respecting quoted fields. */
+std::vector<std::string>
+splitRow(const std::string &line)
+{
+    std::vector<std::string> fields;
+    std::string current;
+    bool inQuotes = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        const char ch = line[i];
+        if (inQuotes) {
+            if (ch == '"' && i + 1 < line.size() && line[i + 1] == '"') {
+                current += '"';
+                ++i;
+            } else if (ch == '"') {
+                inQuotes = false;
+            } else {
+                current += ch;
+            }
+        } else if (ch == '"') {
+            inQuotes = true;
+        } else if (ch == ',') {
+            fields.push_back(std::move(current));
+            current.clear();
+        } else {
+            current += ch;
+        }
+    }
+    fields.push_back(std::move(current));
+    return fields;
+}
+
+} // namespace
+
+void
+saveTrace(const Trace &trace, std::ostream &out)
+{
+    out << kHeader << '\n';
+    for (const auto &request : trace) {
+        const auto &p = request.prompt;
+        out.precision(9);
+        out << request.arrival << ',' << p.id << ',' << p.topicId << ','
+            << p.userId << ',' << p.sessionId << ',' << quote(p.text)
+            << ',' << encodeVec(p.visualConcept) << ','
+            << encodeVec(p.lexicalStyle) << '\n';
+    }
+}
+
+void
+saveTraceFile(const Trace &trace, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open trace file for writing: %s", path.c_str());
+    saveTrace(trace, out);
+    if (!out)
+        fatal("error while writing trace file: %s", path.c_str());
+}
+
+Trace
+loadTrace(std::istream &in)
+{
+    std::string line;
+    if (!std::getline(in, line) || line != kHeader)
+        fatal("not a MoDM trace CSV (bad header)");
+
+    Trace trace;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        const auto fields = splitRow(line);
+        if (fields.size() != 8)
+            fatal("malformed trace row with %zu fields", fields.size());
+        Request request;
+        request.arrival = std::stod(fields[0]);
+        request.prompt.id = std::stoull(fields[1]);
+        request.prompt.topicId =
+            static_cast<std::uint32_t>(std::stoul(fields[2]));
+        request.prompt.userId =
+            static_cast<std::uint32_t>(std::stoul(fields[3]));
+        request.prompt.sessionId = std::stoull(fields[4]);
+        request.prompt.text = fields[5];
+        request.prompt.visualConcept = decodeVec(fields[6]);
+        request.prompt.lexicalStyle = decodeVec(fields[7]);
+        trace.push_back(std::move(request));
+    }
+    return trace;
+}
+
+Trace
+loadTraceFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open trace file: %s", path.c_str());
+    return loadTrace(in);
+}
+
+} // namespace modm::workload

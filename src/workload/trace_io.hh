@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Trace serialization: save and load request traces as CSV so
+ * experiments can be frozen, shared, and replayed exactly — the
+ * equivalent of the paper's replaying DiffusionDB prompts "in their
+ * original arrival order".
+ *
+ * Format: a header line, then one row per request with arrival time,
+ * ids, surface text (quoted), and the latent ground-truth vectors
+ * (semicolon-separated floats) that the synthetic substrate needs.
+ */
+
+#ifndef MODM_WORKLOAD_TRACE_IO_HH
+#define MODM_WORKLOAD_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "src/workload/trace.hh"
+
+namespace modm::workload {
+
+/** Write a trace as CSV. */
+void saveTrace(const Trace &trace, std::ostream &out);
+
+/** Write a trace to a file; fatal() on I/O failure. */
+void saveTraceFile(const Trace &trace, const std::string &path);
+
+/**
+ * Parse a trace written by saveTrace; panics on malformed input from
+ * this library, fatal() on files that are not trace CSVs.
+ */
+Trace loadTrace(std::istream &in);
+
+/** Read a trace from a file; fatal() on I/O failure. */
+Trace loadTraceFile(const std::string &path);
+
+} // namespace modm::workload
+
+#endif // MODM_WORKLOAD_TRACE_IO_HH

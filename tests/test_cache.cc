@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Unit tests for the cache substrate: the image cache (insert, retrieve,
+ * eviction policies, storage accounting) and the Nirvana latent cache
+ * (text-to-text retrieval, model dependence, threshold-mapped k).
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/cache/image_cache.hh"
+#include "src/cache/latent_cache.hh"
+#include "src/common/rng.hh"
+#include "src/diffusion/sampler.hh"
+#include "src/embedding/encoder.hh"
+
+namespace modm::cache {
+namespace {
+
+diffusion::Image
+makeImage(std::uint64_t id, Rng &rng, double fidelity = 0.95,
+          const std::string &model = "SD3.5L")
+{
+    diffusion::Image img;
+    img.id = id;
+    img.content = randomUnitVec(embedding::kEmbeddingDim, rng);
+    img.fidelity = fidelity;
+    img.modelName = model;
+    img.byteSize = 1.4e6;
+    return img;
+}
+
+TEST(ImageCache, InsertAndRetrieve)
+{
+    Rng rng(3);
+    ImageCache cache(10, EvictionPolicy::FIFO);
+    const auto img = makeImage(1, rng);
+    cache.insert(img, 0.0);
+    EXPECT_EQ(cache.size(), 1u);
+
+    embedding::ImageEncoder enc;
+    const auto query = enc.encode(img.content, img.fidelity, img.id);
+    const auto result = cache.retrieve(query);
+    ASSERT_TRUE(result.found);
+    EXPECT_EQ(result.entryId, 1u);
+    EXPECT_GT(result.similarity, 0.95);
+}
+
+TEST(ImageCache, EmptyRetrieveFindsNothing)
+{
+    ImageCache cache(10, EvictionPolicy::FIFO);
+    Rng rng(5);
+    embedding::ImageEncoder enc;
+    const auto query =
+        enc.encode(randomUnitVec(embedding::kEmbeddingDim, rng), 1.0, 9);
+    EXPECT_FALSE(cache.retrieve(query).found);
+}
+
+TEST(ImageCache, FifoEvictsOldest)
+{
+    Rng rng(7);
+    ImageCache cache(3, EvictionPolicy::FIFO);
+    for (std::uint64_t i = 1; i <= 5; ++i)
+        cache.insert(makeImage(i, rng), static_cast<double>(i));
+    EXPECT_EQ(cache.size(), 3u);
+    EXPECT_FALSE(cache.contains(1));
+    EXPECT_FALSE(cache.contains(2));
+    EXPECT_TRUE(cache.contains(3));
+    EXPECT_TRUE(cache.contains(5));
+    EXPECT_EQ(cache.stats().evictions, 2u);
+}
+
+TEST(ImageCache, LruKeepsHotEntries)
+{
+    Rng rng(9);
+    ImageCache cache(3, EvictionPolicy::LRU);
+    cache.insert(makeImage(1, rng), 1.0);
+    cache.insert(makeImage(2, rng), 2.0);
+    cache.insert(makeImage(3, rng), 3.0);
+    cache.recordHit(1, 4.0); // 1 is now most recent; 2 is LRU
+    cache.insert(makeImage(4, rng), 5.0);
+    EXPECT_TRUE(cache.contains(1));
+    EXPECT_FALSE(cache.contains(2));
+}
+
+TEST(ImageCache, UtilityKeepsFrequentlyHitEntries)
+{
+    Rng rng(11);
+    ImageCache cache(20, EvictionPolicy::Utility);
+    for (std::uint64_t i = 1; i <= 20; ++i)
+        cache.insert(makeImage(i, rng), static_cast<double>(i));
+    // Entry 5 is hit many times; sampled eviction should spare it.
+    for (int hit = 0; hit < 50; ++hit)
+        cache.recordHit(5, 100.0 + hit);
+    for (std::uint64_t i = 21; i <= 35; ++i)
+        cache.insert(makeImage(i, rng), 100.0 + i);
+    EXPECT_TRUE(cache.contains(5));
+}
+
+TEST(ImageCache, StorageAccounting)
+{
+    Rng rng(13);
+    ImageCache cache(2, EvictionPolicy::FIFO);
+    cache.insert(makeImage(1, rng), 0.0);
+    cache.insert(makeImage(2, rng), 0.0);
+    EXPECT_DOUBLE_EQ(cache.storedBytes(), 2.8e6);
+    cache.insert(makeImage(3, rng), 0.0); // evicts one
+    EXPECT_DOUBLE_EQ(cache.storedBytes(), 2.8e6);
+    cache.clear();
+    EXPECT_DOUBLE_EQ(cache.storedBytes(), 0.0);
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ImageCache, RetrievalReturnsBestOfMany)
+{
+    Rng rng(17);
+    ImageCache cache(100, EvictionPolicy::FIFO);
+    std::vector<diffusion::Image> images;
+    for (std::uint64_t i = 1; i <= 50; ++i) {
+        images.push_back(makeImage(i, rng));
+        cache.insert(images.back(), 0.0);
+    }
+    embedding::ImageEncoder enc;
+    // Query very close to image 25's content.
+    const Vec q = jitterUnitVec(images[24].content, 0.05, rng);
+    const auto result = cache.retrieve(enc.encode(q, 1.0, 999999));
+    ASSERT_TRUE(result.found);
+    EXPECT_EQ(result.entryId, 25u);
+}
+
+TEST(ImageCache, HitBookkeeping)
+{
+    Rng rng(19);
+    ImageCache cache(10, EvictionPolicy::FIFO);
+    cache.insert(makeImage(1, rng), 0.0);
+    cache.recordHit(1, 5.0);
+    cache.recordHit(1, 6.0);
+    EXPECT_EQ(cache.entry(1).hits, 2u);
+    EXPECT_DOUBLE_EQ(cache.entry(1).lastHitTime, 6.0);
+    EXPECT_EQ(cache.stats().hitsRecorded, 2u);
+}
+
+TEST(LatentCache, RejectsOtherModels)
+{
+    Rng rng(23);
+    LatentCache cache(10, "SD3.5L");
+    embedding::TextEncoder text;
+    const auto emb = text.encode(randomUnitVec(64, rng),
+                                 randomUnitVec(64, rng), "p");
+    cache.insert(makeImage(1, rng, 0.95, "SD3.5L"), emb, 0.0);
+    cache.insert(makeImage(2, rng, 0.85, "SDXL"), emb, 0.0);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.rejectedInserts(), 1u);
+}
+
+TEST(LatentCache, TextToTextRetrievalAndThresholds)
+{
+    Rng rng(29);
+    LatentCache cache(10, "SD3.5L");
+    embedding::TextEncoder text;
+
+    const Vec v = randomUnitVec(64, rng);
+    const Vec l = randomUnitVec(64, rng);
+    const auto stored = text.encode(v, l, "prompt one");
+    cache.insert(makeImage(1, rng), stored, 0.0);
+
+    // Nearly identical prompt: very high t2t similarity -> largest k.
+    const auto sameQuery =
+        text.encode(jitterUnitVec(v, 0.02, rng), l, "prompt one b");
+    const auto hit = cache.retrieve(sameQuery);
+    ASSERT_TRUE(hit.found);
+    EXPECT_GE(hit.similarity, 0.96);
+    EXPECT_EQ(hit.k, 15);
+
+    // Unrelated prompt: below the 0.82 gate -> miss.
+    const auto farQuery = text.encode(randomUnitVec(64, rng),
+                                      randomUnitVec(64, rng), "other");
+    EXPECT_FALSE(cache.retrieve(farQuery).found);
+}
+
+TEST(LatentCache, StorageUsesLatentSetSize)
+{
+    // 2.5 MB per entry vs 1.4 MB per final image (paper §3.1).
+    Rng rng(31);
+    LatentCache cache(10, "SD3.5L");
+    embedding::TextEncoder text;
+    const auto emb = text.encode(randomUnitVec(64, rng),
+                                 randomUnitVec(64, rng), "p");
+    cache.insert(makeImage(1, rng), emb, 0.0);
+    EXPECT_DOUBLE_EQ(cache.storedBytes(), kLatentSetBytes);
+    EXPECT_GT(kLatentSetBytes, 1.4e6);
+}
+
+TEST(LatentCache, UtilityEvictionSparesHotEntries)
+{
+    Rng rng(37);
+    LatentCache cache(20, "SD3.5L");
+    embedding::TextEncoder text;
+    for (std::uint64_t i = 1; i <= 20; ++i) {
+        const auto emb = text.encode(randomUnitVec(64, rng),
+                                     randomUnitVec(64, rng), "p");
+        cache.insert(makeImage(i, rng), emb, 0.0);
+    }
+    for (int hit = 0; hit < 50; ++hit)
+        cache.recordHit(3);
+    for (std::uint64_t i = 21; i <= 32; ++i) {
+        const auto emb = text.encode(randomUnitVec(64, rng),
+                                     randomUnitVec(64, rng), "p");
+        cache.insert(makeImage(i, rng), emb, 0.0);
+    }
+    EXPECT_EQ(cache.size(), 20u);
+    EXPECT_NO_FATAL_FAILURE(cache.entry(3));
+}
+
+/**
+ * Parameterized eviction-policy sweep: every policy must respect
+ * capacity, keep retrieval consistent, and account storage exactly.
+ */
+class PolicySweepTest
+    : public ::testing::TestWithParam<EvictionPolicy>
+{
+};
+
+TEST_P(PolicySweepTest, CapacityAndConsistencyUnderChurn)
+{
+    Rng rng(41);
+    ImageCache cache(50, GetParam());
+    embedding::ImageEncoder enc;
+    for (std::uint64_t i = 1; i <= 500; ++i) {
+        cache.insert(makeImage(i, rng), static_cast<double>(i));
+        EXPECT_LE(cache.size(), 50u);
+        if (i % 7 == 0) {
+            const auto q = enc.encode(
+                randomUnitVec(embedding::kEmbeddingDim, rng), 1.0,
+                1000000 + i);
+            const auto r = cache.retrieve(q);
+            if (r.found) {
+                EXPECT_TRUE(cache.contains(r.entryId));
+                cache.recordHit(r.entryId, static_cast<double>(i));
+            }
+        }
+    }
+    EXPECT_EQ(cache.size(), 50u);
+    EXPECT_DOUBLE_EQ(cache.storedBytes(), 50 * 1.4e6);
+    EXPECT_EQ(cache.stats().insertions, 500u);
+    EXPECT_EQ(cache.stats().evictions, 450u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicySweepTest,
+    ::testing::Values(EvictionPolicy::FIFO, EvictionPolicy::LRU,
+                      EvictionPolicy::Utility),
+    [](const auto &info) { return policyName(info.param); });
+
+} // namespace
+} // namespace modm::cache

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Unit tests for the discrete-event core: event queue ordering and
+ * clock semantics, GPU worker latency/energy/model-switch accounting,
+ * and the cluster helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/cluster.hh"
+#include "src/sim/event_queue.hh"
+
+namespace modm::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(3.0, [&] { order.push_back(3); });
+    q.schedule(1.0, [&] { order.push_back(1); });
+    q.schedule(2.0, [&] { order.push_back(2); });
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, FifoTieBreakAtEqualTimes)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(1.0, [&order, i] { order.push_back(i); });
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, HandlersCanScheduleMoreEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1.0, [&] {
+        ++fired;
+        q.scheduleAfter(1.0, [&] { ++fired; });
+    });
+    q.runAll();
+    EXPECT_EQ(fired, 2);
+    EXPECT_DOUBLE_EQ(q.now(), 2.0);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1.0, [&] { ++fired; });
+    q.schedule(5.0, [&] { ++fired; });
+    q.runUntil(3.0);
+    EXPECT_EQ(fired, 1);
+    EXPECT_DOUBLE_EQ(q.now(), 3.0);
+    EXPECT_EQ(q.size(), 1u);
+    q.runAll();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, PeekTime)
+{
+    EventQueue q;
+    q.schedule(7.0, [] {});
+    EXPECT_DOUBLE_EQ(q.peekTime(), 7.0);
+}
+
+TEST(Worker, JobLatencyMatchesModelProfile)
+{
+    Worker w(0, diffusion::GpuKind::A40);
+    const auto model = diffusion::sd35Large();
+    // First job pays the model load.
+    const double finish = w.startJob(model, 50, 0.0);
+    EXPECT_DOUBLE_EQ(finish, model.loadLatency + 50 * 1.20);
+    EXPECT_TRUE(w.busyAt(10.0));
+    EXPECT_FALSE(w.busyAt(finish));
+    EXPECT_EQ(w.residentModel(), "SD3.5L");
+}
+
+TEST(Worker, ResidentModelSkipsLoad)
+{
+    Worker w(0, diffusion::GpuKind::A40);
+    const auto model = diffusion::sdxl();
+    const double t1 = w.startJob(model, 50, 0.0);
+    const double t2 = w.startJob(model, 50, t1);
+    EXPECT_DOUBLE_EQ(t2 - t1, 50 * model.stepLatencyA40);
+    EXPECT_EQ(w.stats().modelSwitches, 0u);
+}
+
+TEST(Worker, SwitchingModelsPaysLoadAndCounts)
+{
+    Worker w(0, diffusion::GpuKind::A40);
+    const double t1 = w.startJob(diffusion::sd35Large(), 50, 0.0);
+    const double t2 = w.startJob(diffusion::sdxl(), 50, t1);
+    EXPECT_DOUBLE_EQ(
+        t2 - t1, diffusion::sdxl().loadLatency +
+                     50 * diffusion::sdxl().stepLatencyA40);
+    EXPECT_EQ(w.stats().modelSwitches, 1u);
+}
+
+TEST(Worker, EnergyIncludesComputeAndIdle)
+{
+    Worker w(0, diffusion::GpuKind::A40, /*idle_power_w=*/60.0);
+    const auto model = diffusion::sd35Large();
+    const double finish = w.startJob(model, 50, 0.0);
+    const double duration = finish + 100.0;
+    const double expected =
+        model.stepEnergyJ(diffusion::GpuKind::A40, 50) +
+        (duration - w.stats().busySeconds) * 60.0;
+    EXPECT_NEAR(w.totalEnergyJ(duration), expected, 1e-6);
+}
+
+TEST(Worker, GpuKindSelectsLatencyColumn)
+{
+    Worker a40(0, diffusion::GpuKind::A40);
+    Worker mi(1, diffusion::GpuKind::MI210);
+    const auto model = diffusion::sd35Large();
+    const double fa = a40.startJob(model, 50, 0.0);
+    const double fm = mi.startJob(model, 50, 0.0);
+    EXPECT_LT(fa, fm);
+}
+
+TEST(Cluster, FindIdleHelpers)
+{
+    Cluster cluster(3, diffusion::GpuKind::A40);
+    EXPECT_EQ(cluster.findAnyIdle(0.0), 0);
+    cluster.worker(0).startJob(diffusion::sd35Large(), 50, 0.0);
+    EXPECT_EQ(cluster.findAnyIdle(1.0), 1);
+    cluster.worker(1).startJob(diffusion::sdxl(), 50, 0.0);
+    // Worker 1 finishes eventually; at that point it holds SDXL.
+    const double done = cluster.worker(1).freeAt();
+    EXPECT_EQ(cluster.findIdleWithModel("SDXL", done), 1);
+    EXPECT_EQ(cluster.findIdleWithModel("SD3.5L", done), -1);
+}
+
+TEST(Cluster, AggregateStats)
+{
+    Cluster cluster(2, diffusion::GpuKind::A40);
+    cluster.worker(0).startJob(diffusion::sd35Large(), 50, 0.0);
+    cluster.worker(1).startJob(diffusion::sdxl(), 50, 0.0);
+    EXPECT_EQ(cluster.totalJobs(), 2u);
+    EXPECT_GT(cluster.totalBusySeconds(), 0.0);
+    EXPECT_GT(cluster.totalEnergyJ(1000.0), 0.0);
+}
+
+} // namespace
+} // namespace modm::sim

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Unit tests for trace serialization: round-trip exactness (including
+ * quoted text with commas/quotes) and rejection of malformed input.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/workload/trace_io.hh"
+
+namespace modm::workload {
+namespace {
+
+TEST(TraceIo, RoundTripPreservesEverything)
+{
+    auto gen = makeDiffusionDB(42);
+    PoissonArrivals arrivals(10.0);
+    Rng rng(7);
+    const auto original = buildTrace(*gen, arrivals, 100, rng);
+
+    std::stringstream buffer;
+    saveTrace(original, buffer);
+    const auto loaded = loadTrace(buffer);
+
+    ASSERT_EQ(loaded.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        const auto &a = original[i];
+        const auto &b = loaded[i];
+        EXPECT_NEAR(a.arrival, b.arrival, 1e-6);
+        EXPECT_EQ(a.prompt.id, b.prompt.id);
+        EXPECT_EQ(a.prompt.topicId, b.prompt.topicId);
+        EXPECT_EQ(a.prompt.userId, b.prompt.userId);
+        EXPECT_EQ(a.prompt.sessionId, b.prompt.sessionId);
+        EXPECT_EQ(a.prompt.text, b.prompt.text);
+        ASSERT_EQ(a.prompt.visualConcept.size(),
+                  b.prompt.visualConcept.size());
+        for (std::size_t d = 0; d < a.prompt.visualConcept.size(); ++d)
+            EXPECT_NEAR(a.prompt.visualConcept[d],
+                        b.prompt.visualConcept[d], 1e-6);
+    }
+}
+
+TEST(TraceIo, QuotedTextWithCommasAndQuotes)
+{
+    Trace trace(1);
+    trace[0].arrival = 1.5;
+    trace[0].prompt.id = 7;
+    trace[0].prompt.text = "a \"red\" dragon, highly detailed";
+    trace[0].prompt.visualConcept = {0.5f, -0.5f};
+    trace[0].prompt.lexicalStyle = {1.0f, 0.0f};
+
+    std::stringstream buffer;
+    saveTrace(trace, buffer);
+    const auto loaded = loadTrace(buffer);
+    ASSERT_EQ(loaded.size(), 1u);
+    EXPECT_EQ(loaded[0].prompt.text, "a \"red\" dragon, highly detailed");
+}
+
+TEST(TraceIoDeath, RejectsForeignCsv)
+{
+    std::stringstream buffer("time,value\n1,2\n");
+    EXPECT_DEATH(loadTrace(buffer), "bad header");
+}
+
+TEST(TraceIoDeath, RejectsTruncatedRow)
+{
+    std::stringstream buffer;
+    buffer << "arrival,prompt_id,topic_id,user_id,session_id,text,"
+              "visual,lexical\n1.0,2,3\n";
+    EXPECT_DEATH(loadTrace(buffer), "malformed trace row");
+}
+
+} // namespace
+} // namespace modm::workload
