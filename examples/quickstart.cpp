@@ -42,9 +42,12 @@ main()
     params.seed = seed;
     params.keepOutputs = true;
 
-    serving::ServingSystem modmSystem(
-        baselines::modm(diffusion::sd35Large(), diffusion::sdxl(),
-                        params));
+    auto modmConfig =
+        baselines::modm(diffusion::sd35Large(), diffusion::sdxl(), params);
+    // Shard cache-retrieval scans across every core; sharding is exact,
+    // so results match the serial default bit-for-bit.
+    modmConfig.retrievalParallelism = 0;
+    serving::ServingSystem modmSystem(modmConfig);
     modmSystem.warmCache(warm);
     const auto modmResult = modmSystem.run(trace);
 

@@ -126,6 +126,15 @@ class ImageCache
     /** Active policy. */
     EvictionPolicy policy() const { return policy_; }
 
+    /**
+     * Retrieval scan parallelism, forwarded to the embedding index:
+     * 1 (default) = serial, 0 = match the global thread pool.
+     */
+    void setRetrievalParallelism(std::size_t threads)
+    {
+        index_.setParallelism(threads);
+    }
+
     /** Remove everything. */
     void clear();
 

@@ -123,6 +123,15 @@ class LatentCache
     /** The threshold table in use. */
     const NirvanaThresholds &thresholds() const { return thresholds_; }
 
+    /**
+     * Retrieval scan parallelism, forwarded to the embedding index:
+     * 1 (default) = serial, 0 = match the global thread pool.
+     */
+    void setRetrievalParallelism(std::size_t threads)
+    {
+        index_.setParallelism(threads);
+    }
+
   private:
     void evictOne();
 

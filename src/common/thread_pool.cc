@@ -1,0 +1,95 @@
+#include "src/common/thread_pool.hh"
+
+#include <algorithm>
+
+namespace modm {
+
+ThreadPool::ThreadPool(std::size_t workers)
+{
+    workers_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (auto &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::parallelFor(std::size_t shardCount,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (shardCount == 0)
+        return;
+    if (workers_.empty() || shardCount == 1) {
+        for (std::size_t shard = 0; shard < shardCount; ++shard)
+            fn(shard);
+        return;
+    }
+
+    // One job at a time: a second submitter must not overwrite the
+    // shared shard counters while the first job is mid-flight.
+    std::lock_guard<std::mutex> submitLock(submitMutex_);
+    std::unique_lock<std::mutex> lock(mutex_);
+    job_ = &fn;
+    nextShard_ = 0;
+    shardCount_ = shardCount;
+    pendingShards_ = shardCount;
+    ++generation_;
+    wake_.notify_all();
+
+    // The caller is shard runner number zero: it pulls work like any
+    // other thread so a pool under contention still makes progress.
+    while (nextShard_ < shardCount_) {
+        const std::size_t shard = nextShard_++;
+        lock.unlock();
+        fn(shard);
+        lock.lock();
+        --pendingShards_;
+    }
+    done_.wait(lock, [this] { return pendingShards_ == 0; });
+    job_ = nullptr;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::uint64_t seenGeneration = 0;
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        wake_.wait(lock, [&] {
+            return stopping_ ||
+                   (job_ != nullptr && generation_ != seenGeneration &&
+                    nextShard_ < shardCount_);
+        });
+        if (stopping_)
+            return;
+        seenGeneration = generation_;
+        while (job_ != nullptr && nextShard_ < shardCount_) {
+            const std::size_t shard = nextShard_++;
+            const auto *fn = job_;
+            lock.unlock();
+            (*fn)(shard);
+            lock.lock();
+            if (--pendingShards_ == 0)
+                done_.notify_all();
+        }
+    }
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool(
+        std::max<std::size_t>(std::thread::hardware_concurrency(), 1) - 1);
+    return pool;
+}
+
+} // namespace modm

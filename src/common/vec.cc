@@ -19,6 +19,15 @@ dot(const Vec &a, const Vec &b)
 }
 
 double
+dot(const float *a, const float *b, std::size_t n)
+{
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+    return acc;
+}
+
+double
 norm(const Vec &a)
 {
     return std::sqrt(dot(a, a));

@@ -23,6 +23,12 @@ using Vec = std::vector<float>;
 /** Dot product; both vectors must have equal dimension. */
 double dot(const Vec &a, const Vec &b);
 
+/**
+ * Dot product over raw rows of length n — the flat-index hot loop.
+ * Accumulates in double, matching the Vec overload exactly.
+ */
+double dot(const float *a, const float *b, std::size_t n);
+
 /** Euclidean norm. */
 double norm(const Vec &a);
 

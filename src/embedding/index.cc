@@ -4,8 +4,32 @@
 #include <cstring>
 
 #include "src/common/log.hh"
+#include "src/common/thread_pool.hh"
 
 namespace modm::embedding {
+
+namespace {
+
+/** Total order on scored slots: similarity desc, insertion slot asc. */
+bool
+scoreBefore(std::size_t slotA, double scoreA, std::size_t slotB,
+            double scoreB)
+{
+    if (scoreA != scoreB)
+        return scoreA > scoreB;
+    return slotA < slotB;
+}
+
+/** Shard s of `shards` over [0, rows): a contiguous slot range. */
+std::pair<std::size_t, std::size_t>
+shardRange(std::size_t s, std::size_t shards, std::size_t rows)
+{
+    const std::size_t lo = rows * s / shards;
+    const std::size_t hi = rows * (s + 1) / shards;
+    return {lo, hi};
+}
+
+} // namespace
 
 CosineIndex::CosineIndex(std::size_t dim)
     : dim_(dim)
@@ -53,6 +77,67 @@ CosineIndex::contains(std::uint64_t id) const
     return slotOf_.find(id) != slotOf_.end();
 }
 
+std::size_t
+CosineIndex::scanShards() const
+{
+    if (parallelism_ == 1 || ids_.size() < parallelThreshold_)
+        return 1;
+    // An explicit setting forces that shard count even when the pool
+    // has fewer threads (it then drains shards with what it has) —
+    // this is what lets the property tests exercise the sharded merge
+    // on any machine. Auto mode matches the pool.
+    const std::size_t want = parallelism_ == 0
+                                 ? ThreadPool::global().concurrency()
+                                 : parallelism_;
+    return std::max<std::size_t>(1, std::min(want, ids_.size()));
+}
+
+CosineIndex::SlotScore
+CosineIndex::scanBest(const float *query, std::size_t lo,
+                      std::size_t hi) const
+{
+    SlotScore result{lo, -2.0};
+    for (std::size_t slot = lo; slot < hi; ++slot) {
+        const double acc = dot(query, &rows_[slot * dim_], dim_);
+        if (acc > result.score) {
+            result.score = acc;
+            result.slot = slot;
+        }
+    }
+    return result;
+}
+
+std::vector<CosineIndex::SlotScore>
+CosineIndex::scanTop(const float *query, std::size_t lo, std::size_t hi,
+                     std::size_t keep) const
+{
+    // Bounded selection: a heap of the `keep` best slots seen so far,
+    // worst at the front, so the scan stays O(rows * dim) with an
+    // O(log keep) update only when a row beats the current worst.
+    // scoreBefore() is a total order, so this matches a full sort.
+    const auto better = [](const SlotScore &a, const SlotScore &b) {
+        return scoreBefore(a.slot, a.score, b.slot, b.score);
+    };
+    std::vector<SlotScore> heap;
+    if (keep == 0)
+        return heap;
+    heap.reserve(std::min(keep, hi - lo));
+    for (std::size_t slot = lo; slot < hi; ++slot) {
+        const SlotScore candidate{slot, dot(query, &rows_[slot * dim_],
+                                            dim_)};
+        if (heap.size() < keep) {
+            heap.push_back(candidate);
+            std::push_heap(heap.begin(), heap.end(), better);
+        } else if (better(candidate, heap.front())) {
+            std::pop_heap(heap.begin(), heap.end(), better);
+            heap.back() = candidate;
+            std::push_heap(heap.begin(), heap.end(), better);
+        }
+    }
+    std::sort(heap.begin(), heap.end(), better);
+    return heap;
+}
+
 Match
 CosineIndex::best(const Embedding &query) const
 {
@@ -61,42 +146,61 @@ CosineIndex::best(const Embedding &query) const
         return result;
     MODM_ASSERT(query.dim() == dim_, "index query: dimension mismatch");
     const float *q = query.vec().data();
-    for (std::size_t slot = 0; slot < ids_.size(); ++slot) {
-        const float *row = &rows_[slot * dim_];
-        double acc = 0.0;
-        for (std::size_t i = 0; i < dim_; ++i)
-            acc += static_cast<double>(q[i]) * row[i];
-        if (acc > result.similarity) {
-            result.similarity = acc;
-            result.id = ids_[slot];
-        }
+    const std::size_t shards = scanShards();
+    SlotScore top{0, -2.0};
+    if (shards <= 1) {
+        top = scanBest(q, 0, ids_.size());
+    } else {
+        std::vector<SlotScore> partial(shards);
+        ThreadPool::global().parallelFor(shards, [&](std::size_t s) {
+            const auto [lo, hi] = shardRange(s, shards, ids_.size());
+            partial[s] = scanBest(q, lo, hi);
+        });
+        // Shards cover ascending slot ranges, so a strictly-greater
+        // merge keeps the earliest slot on ties, same as the serial
+        // scan.
+        top = partial[0];
+        for (std::size_t s = 1; s < shards; ++s)
+            if (partial[s].score > top.score)
+                top = partial[s];
     }
+    result.id = ids_[top.slot];
+    result.similarity = top.score;
     return result;
 }
 
 std::vector<Match>
 CosineIndex::topK(const Embedding &query, std::size_t k) const
 {
-    std::vector<Match> all;
+    std::vector<Match> result;
     if (empty() || k == 0)
-        return all;
+        return result;
     MODM_ASSERT(query.dim() == dim_, "index query: dimension mismatch");
-    all.reserve(ids_.size());
     const float *q = query.vec().data();
-    for (std::size_t slot = 0; slot < ids_.size(); ++slot) {
-        const float *row = &rows_[slot * dim_];
-        double acc = 0.0;
-        for (std::size_t i = 0; i < dim_; ++i)
-            acc += static_cast<double>(q[i]) * row[i];
-        all.push_back({ids_[slot], acc});
+    const std::size_t shards = scanShards();
+    std::vector<SlotScore> top;
+    if (shards <= 1) {
+        top = scanTop(q, 0, ids_.size(), k);
+    } else {
+        std::vector<std::vector<SlotScore>> partial(shards);
+        ThreadPool::global().parallelFor(shards, [&](std::size_t s) {
+            const auto [lo, hi] = shardRange(s, shards, ids_.size());
+            partial[s] = scanTop(q, lo, hi, k);
+        });
+        for (const auto &p : partial)
+            top.insert(top.end(), p.begin(), p.end());
+        const std::size_t keep = std::min(k, top.size());
+        std::partial_sort(top.begin(), top.begin() + keep, top.end(),
+                          [](const SlotScore &a, const SlotScore &b) {
+                              return scoreBefore(a.slot, a.score, b.slot,
+                                                 b.score);
+                          });
+        top.resize(keep);
     }
-    const std::size_t keep = std::min(k, all.size());
-    std::partial_sort(all.begin(), all.begin() + keep, all.end(),
-                      [](const Match &a, const Match &b) {
-                          return a.similarity > b.similarity;
-                      });
-    all.resize(keep);
-    return all;
+    result.reserve(top.size());
+    for (const auto &entry : top)
+        result.push_back({ids_[entry.slot], entry.score});
+    return result;
 }
 
 void

@@ -7,6 +7,15 @@
  * denoising. This index keeps rows in a contiguous flat array so the
  * brute-force scan is cache-friendly, and supports O(1) removal (swap with
  * the last row) for FIFO/LRU eviction.
+ *
+ * Scans can shard across ThreadPool::global(): opt in with
+ * setParallelism(0) (the default stays serial so existing measurements
+ * and single-thread callers are unaffected), and sharding engages once
+ * the index is large enough for the fork/join overhead to pay off.
+ * Sharding is exact, not approximate: each shard computes the same
+ * per-row dot products the serial loop would, and the merge orders by
+ * (similarity desc, insertion slot asc) — a total order — so serial and
+ * sharded scans return bit-identical results.
  */
 
 #ifndef MODM_EMBEDDING_INDEX_HH
@@ -33,6 +42,13 @@ struct Match
 class CosineIndex
 {
   public:
+    /**
+     * Indexes smaller than this scan serially regardless of the
+     * parallelism setting; below it the fork/join overhead exceeds the
+     * scan itself.
+     */
+    static constexpr std::size_t kDefaultParallelThreshold = 8192;
+
     /** Create an index for embeddings of the given dimensionality. */
     explicit CosineIndex(std::size_t dim = kEmbeddingDim);
 
@@ -57,14 +73,55 @@ class CosineIndex
      */
     Match best(const Embedding &query) const;
 
-    /** Top-k matches ordered by decreasing similarity. */
+    /** Top-k matches ordered by decreasing similarity (ties: insertion
+     *  order). */
     std::vector<Match> topK(const Embedding &query, std::size_t k) const;
+
+    /**
+     * Set the scan parallelism: 1 (the default) forces serial scans,
+     * 0 shards to match ThreadPool::global(), any other value forces
+     * exactly that many shards (the pool drains them with the threads
+     * it has).
+     */
+    void setParallelism(std::size_t threads) { parallelism_ = threads; }
+
+    /** Configured parallelism (0 = auto). */
+    std::size_t parallelism() const { return parallelism_; }
+
+    /**
+     * Minimum index size before scans shard; lower it to 0 to force the
+     * sharded path even on tiny indexes (used by the property tests).
+     */
+    void setParallelThreshold(std::size_t rows) { parallelThreshold_ = rows; }
+
+    /** Active parallel threshold. */
+    std::size_t parallelThreshold() const { return parallelThreshold_; }
 
     /** Remove everything. */
     void clear();
 
   private:
+    /** Scored slot, the unit the scan and merge operate on. */
+    struct SlotScore
+    {
+        std::size_t slot;
+        double score;
+    };
+
+    /** Shards the next scan will use (1 = serial). */
+    std::size_t scanShards() const;
+
+    /** Best slot in [lo, hi), earliest slot winning ties. */
+    SlotScore scanBest(const float *query, std::size_t lo,
+                       std::size_t hi) const;
+
+    /** Top `keep` slots in [lo, hi) by (score desc, slot asc). */
+    std::vector<SlotScore> scanTop(const float *query, std::size_t lo,
+                                   std::size_t hi, std::size_t keep) const;
+
     std::size_t dim_;
+    std::size_t parallelism_ = 1;
+    std::size_t parallelThreshold_ = kDefaultParallelThreshold;
     std::vector<float> rows_;                    // size() * dim_ floats
     std::vector<std::uint64_t> ids_;             // slot -> id
     std::unordered_map<std::uint64_t, std::size_t> slotOf_; // id -> slot
