@@ -11,7 +11,7 @@
 
 #include <cstdio>
 
-#include "bench/harness.hh"
+#include "bench/sweep.hh"
 #include "src/cache/image_cache.hh"
 #include "src/serving/k_decision.hh"
 
@@ -74,14 +74,28 @@ runPolicy(cache::EvictionPolicy policy)
 int
 main()
 {
+    const std::vector<cache::EvictionPolicy> policies = {
+        cache::EvictionPolicy::FIFO, cache::EvictionPolicy::LRU,
+        cache::EvictionPolicy::Utility};
+
+    std::vector<std::function<PolicyResult()>> cells;
+    std::vector<std::string> labels;
+    for (const auto policy : policies) {
+        labels.push_back(cache::policyName(policy));
+        cells.push_back([policy] { return runPolicy(policy); });
+    }
+    bench::SweepOptions options;
+    options.title = "Ablation cache policy";
+    const auto results =
+        bench::runCells(std::move(cells), options, labels);
+
     Table t({"policy", "hit rate", "mean similarity",
              "max reuse of one entry"});
-    for (auto policy : {cache::EvictionPolicy::FIFO,
-                        cache::EvictionPolicy::LRU,
-                        cache::EvictionPolicy::Utility}) {
-        const auto r = runPolicy(policy);
-        t.addRow({cache::policyName(policy), Table::fmt(r.hitRate, 3),
-                  Table::fmt(r.meanSim, 3), Table::fmt(r.maxReuse)});
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+        const auto &r = results[i];
+        t.addRow({cache::policyName(policies[i]),
+                  Table::fmt(r.hitRate, 3), Table::fmt(r.meanSim, 3),
+                  Table::fmt(r.maxReuse)});
     }
     t.print("Ablation — cache maintenance policy (12000 requests, "
             "capacity 1500; paper §5.4 adopts FIFO)");

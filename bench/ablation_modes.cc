@@ -13,7 +13,7 @@
 
 #include <cstdio>
 
-#include "bench/harness.hh"
+#include "bench/sweep.hh"
 
 using namespace modm;
 
@@ -26,28 +26,43 @@ main()
     params.cacheCapacity = 2500;
     params.keepOutputs = true;
 
-    eval::MetricSuite metrics;
-    const double slo =
-        2.0 * diffusion::sd35Large().fullLatency(params.gpu);
+    const std::vector<double> rates = {6.0, 12.0, 20.0};
+    const std::vector<serving::MonitorMode> modes = {
+        serving::MonitorMode::QualityOptimized,
+        serving::MonitorMode::ThroughputOptimized};
 
-    Table t({"rate/min", "mode", "hits on large", "CLIP",
-             "SLO viol (2x)", "throughput/min"});
-    for (double rate : {6.0, 12.0, 20.0}) {
-        for (const auto mode : {serving::MonitorMode::QualityOptimized,
-                                serving::MonitorMode::ThroughputOptimized}) {
+    bench::SweepSpec spec;
+    spec.options.title = "Ablation modes";
+    for (const double rate : rates) {
+        for (const auto mode : modes) {
             auto config = baselines::modm(diffusion::sd35Large(),
                                           diffusion::sdxl(), params);
             config.mode = mode;
-            const auto bundle = bench::poissonBundle(
-                bench::Dataset::DiffusionDB, 2500, 1200, rate);
-            const auto result = bench::runSystem(config, bundle);
+            spec.add(std::string(serving::monitorModeName(mode)) + "@" +
+                         Table::fmt(rate, 0),
+                     config, [rate] {
+                         return bench::poissonBundle(
+                             bench::Dataset::DiffusionDB, 2500, 1200,
+                             rate);
+                     });
+        }
+    }
+    const auto results = bench::runSweep(spec);
 
+    eval::MetricSuite metrics;
+    const double slo =
+        2.0 * diffusion::sd35Large().fullLatency(params.gpu);
+    Table t({"rate/min", "mode", "hits on large", "CLIP",
+             "SLO viol (2x)", "throughput/min"});
+    for (std::size_t r = 0; r < rates.size(); ++r) {
+        for (std::size_t m = 0; m < modes.size(); ++m) {
+            const auto &result = results[r * modes.size() + m];
             std::size_t hits = 0, hitsOnLarge = 0;
-            for (const auto &r : result.metrics.records()) {
-                if (!r.cacheHit)
+            for (const auto &rec : result.metrics.records()) {
+                if (!rec.cacheHit)
                     continue;
                 ++hits;
-                hitsOnLarge += r.servedBy == "SD3.5L";
+                hitsOnLarge += rec.servedBy == "SD3.5L";
             }
             double clip = 0.0;
             for (std::size_t i = 0; i < result.images.size(); ++i)
@@ -55,8 +70,8 @@ main()
                                           result.images[i]);
             clip /= static_cast<double>(result.images.size());
 
-            t.addRow({Table::fmt(rate, 0),
-                      serving::monitorModeName(mode),
+            t.addRow({Table::fmt(rates[r], 0),
+                      serving::monitorModeName(modes[m]),
                       hits ? Table::fmt(static_cast<double>(hitsOnLarge) /
                                         hits, 2)
                            : "-",

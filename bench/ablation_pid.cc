@@ -11,7 +11,7 @@
 
 #include <cstdio>
 
-#include "bench/harness.hh"
+#include "bench/sweep.hh"
 
 using namespace modm;
 
@@ -26,36 +26,8 @@ struct AblationRow
 };
 
 AblationRow
-runGains(serving::PidGains gains)
+toRow(const serving::ServingResult &result)
 {
-    // Fast alternation between light and heavy demand — the regime
-    // where an undamped controller thrashes.
-    std::vector<workload::RateSegment> segments;
-    for (int i = 0; i < 10; ++i) {
-        segments.push_back({240.0, 6.0});
-        segments.push_back({240.0, 22.0});
-    }
-    const double duration = 240.0 * segments.size();
-
-    bench::WorkloadBundle bundle;
-    auto gen = workload::makeDiffusionDB(42);
-    for (int i = 0; i < 2500; ++i)
-        bundle.warm.push_back(gen->next());
-    workload::PiecewiseArrivals arrivals(segments);
-    Rng rng(42);
-    bundle.trace = workload::buildTraceForDuration(*gen, arrivals,
-                                                   duration, rng);
-
-    baselines::PresetParams params;
-    params.numWorkers = 16;
-    params.gpu = diffusion::GpuKind::MI210;
-    params.cacheCapacity = 4000;
-    auto config = baselines::modmMulti(
-        diffusion::sd35Large(), {diffusion::sdxl(), diffusion::sana()},
-        params);
-    config.pid = gains;
-    const auto result = bench::runSystem(config, bundle);
-
     AblationRow row;
     row.throughput = result.throughputPerMin;
     row.modelSwitches = result.modelSwitches;
@@ -72,8 +44,49 @@ runGains(serving::PidGains gains)
 int
 main()
 {
-    const auto pid = runGains({.kp = 0.6, .ki = 0.05, .kd = 0.05});
-    const auto jump = runGains({.kp = 1.0, .ki = 0.0, .kd = 0.0});
+    // Fast alternation between light and heavy demand — the regime
+    // where an undamped controller thrashes.
+    std::vector<workload::RateSegment> segments;
+    for (int i = 0; i < 10; ++i) {
+        segments.push_back({240.0, 6.0});
+        segments.push_back({240.0, 22.0});
+    }
+    const double duration = 240.0 * segments.size();
+
+    const auto makeBundle = [segments, duration] {
+        bench::WorkloadBundle bundle;
+        auto gen = workload::makeDiffusionDB(42);
+        for (int i = 0; i < 2500; ++i)
+            bundle.warm.push_back(gen->next());
+        workload::PiecewiseArrivals arrivals(segments);
+        Rng rng(42);
+        bundle.trace = workload::buildTraceForDuration(*gen, arrivals,
+                                                       duration, rng);
+        return bundle;
+    };
+
+    baselines::PresetParams params;
+    params.numWorkers = 16;
+    params.gpu = diffusion::GpuKind::MI210;
+    params.cacheCapacity = 4000;
+
+    bench::SweepSpec spec;
+    spec.options.title = "Ablation PID";
+    for (const auto &[name, gains] :
+         std::vector<std::pair<const char *, serving::PidGains>>{
+             {"PID 0.6/0.05/0.05 (paper)",
+              {.kp = 0.6, .ki = 0.05, .kd = 0.05}},
+             {"proportional jump (kp=1)",
+              {.kp = 1.0, .ki = 0.0, .kd = 0.0}}}) {
+        auto config = baselines::modmMulti(
+            diffusion::sd35Large(),
+            {diffusion::sdxl(), diffusion::sana()}, params);
+        config.pid = gains;
+        spec.add(name, config, makeBundle);
+    }
+    const auto results = bench::runSweep(spec);
+    const auto pid = toRow(results[0]);
+    const auto jump = toRow(results[1]);
 
     Table t({"controller", "throughput/min", "allocation changes",
              "model reloads", "p99 (s)"});

@@ -15,7 +15,7 @@
 
 #include <cstdio>
 
-#include "bench/harness.hh"
+#include "bench/sweep.hh"
 #include "src/cache/image_cache.hh"
 #include "src/serving/k_decision.hh"
 
@@ -41,6 +41,7 @@ runStrategy(Phase2Strategy strategy)
     serving::KDecision kd;
 
     cache::ImageCache cache(2 * kWave, cache::EvictionPolicy::FIFO);
+    cache.reserve(2 * kWave);
 
     // Phase 1: warm with large-model generations.
     for (std::size_t i = 0; i < kWave; ++i) {
@@ -100,16 +101,28 @@ runStrategy(Phase2Strategy strategy)
 int
 main()
 {
+    const std::vector<std::pair<const char *, Phase2Strategy>> cases = {
+        {"fresh SD3.5L generations", Phase2Strategy::FullLarge},
+        {"SD3.5L refinements", Phase2Strategy::RefineLarge},
+        {"SDXL refinements", Phase2Strategy::RefineSmall},
+    };
+    const std::vector<const char *> paper = {"29.63", "28.58", "28.32"};
+
+    std::vector<std::function<double()>> cells;
+    std::vector<std::string> labels;
+    for (const auto &[name, strategy] : cases) {
+        labels.push_back(name);
+        cells.push_back(
+            [strategy = strategy] { return runStrategy(strategy); });
+    }
+    bench::SweepOptions options;
+    options.title = "Appendix A.6";
+    const auto results =
+        bench::runCells(std::move(cells), options, labels);
+
     Table t({"phase-2 cache contents", "phase-3 CLIP", "paper"});
-    t.addRow({"fresh SD3.5L generations",
-              Table::fmt(runStrategy(Phase2Strategy::FullLarge)),
-              "29.63"});
-    t.addRow({"SD3.5L refinements",
-              Table::fmt(runStrategy(Phase2Strategy::RefineLarge)),
-              "28.58"});
-    t.addRow({"SDXL refinements",
-              Table::fmt(runStrategy(Phase2Strategy::RefineSmall)),
-              "28.32"});
+    for (std::size_t i = 0; i < cases.size(); ++i)
+        t.addRow({cases[i].first, Table::fmt(results[i]), paper[i]});
     t.print("Appendix A.6 — effect of caching small-model refinements "
             "on future generation quality");
     return 0;

@@ -5,25 +5,23 @@
  * space, per-model quality metrics, and the refinement quality response.
  * Not a paper figure; kept as a diagnostic so recalibration after any
  * substrate change is a one-command check.
+ *
+ * Each probe section is independent, so the four run as concurrent
+ * sweep cells; sections render their tables to strings and main prints
+ * them in declaration order.
  */
 
 #include <cstdio>
 #include <map>
 
+#include "bench/sweep.hh"
 #include "src/common/stats.hh"
-#include "src/common/table.hh"
-#include "src/diffusion/sampler.hh"
-#include "src/eval/metrics.hh"
-#include "src/baselines/presets.hh"
-#include "src/serving/system.hh"
-#include "src/workload/generator.hh"
-#include "src/workload/trace.hh"
 
 using namespace modm;
 
 namespace {
 
-void
+std::string
 similarityScales()
 {
     workload::DiffusionDBModel gen({}, 7);
@@ -84,11 +82,11 @@ similarityScales()
     row("text->image, cross topic", crossSim);
     row("text->text, same session", t2tSession);
     row("text->text, other", t2tCross);
-    t.print("Similarity scales (paper: hits at 0.25-0.30, Nirvana t2t "
-            "0.65-0.95)");
+    return t.render("Similarity scales (paper: hits at 0.25-0.30, "
+                    "Nirvana t2t 0.65-0.95)");
 }
 
-void
+std::string
 modelQuality()
 {
     workload::DiffusionDBModel gen({}, 11);
@@ -113,10 +111,11 @@ modelQuality()
         t.addRow({model.name, Table::fmt(q.clip), Table::fmt(q.fid, 1),
                   Table::fmt(q.is, 1), Table::fmt(q.pick)});
     }
-    t.print("Standalone model quality (paper Table 2 left block)");
+    return t.render("Standalone model quality (paper Table 2 left "
+                    "block)");
 }
 
-void
+std::string
 refinementResponse()
 {
     // Quality factor vs (k, similarity): refine SDXL over a cached
@@ -166,11 +165,12 @@ refinementResponse()
                       Table::fmt(stat.count())});
         }
     }
-    t.print("Refinement quality factor vs (k, text-image similarity) "
-            "(paper Fig. 5a; alpha = 0.95 thresholds)");
+    return t.render("Refinement quality factor vs (k, text-image "
+                    "similarity) (paper Fig. 5a; alpha = 0.95 "
+                    "thresholds)");
 }
 
-void
+std::string
 servingDecomposition()
 {
     // Decompose MoDM's end-to-end quality: where do FID/CLIP move vs
@@ -242,7 +242,7 @@ servingDecomposition()
            refined, refRefined);
     addRow("full-gen (misses)", fidMiss, alignMiss, promptsMissed,
            missed, refMissed);
-    t.print("MoDM serving decomposition (batch, cache-all)");
+    return t.render("MoDM serving decomposition (batch, cache-all)");
 }
 
 } // namespace
@@ -250,9 +250,15 @@ servingDecomposition()
 int
 main()
 {
-    similarityScales();
-    modelQuality();
-    refinementResponse();
-    servingDecomposition();
+    bench::SweepOptions options;
+    options.title = "Calibration probe";
+    const auto sections = bench::runCells<std::string>(
+        {similarityScales, modelQuality, refinementResponse,
+         servingDecomposition},
+        options,
+        {"similarity scales", "model quality", "refinement response",
+         "serving decomposition"});
+    for (const auto &section : sections)
+        std::fputs(section.c_str(), stdout);
     return 0;
 }

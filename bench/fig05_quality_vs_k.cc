@@ -9,34 +9,39 @@
  * the quality factor Q = CLIP(refined) / CLIP(full large generation).
  * Calibrate thresholds with KDecision::calibrate and compare them with
  * the paper's Fig. 5b table {0.25, 0.27, 0.28, 0.29, 0.30}.
+ *
+ * Sweep structure: the 6000 probe pairs split into twelve fixed chunks,
+ * each with its own seeded generator/sampler/rng stream, fanned out as
+ * sweep cells and merged in chunk order — the same statistics at any
+ * parallelism on any machine.
  */
 
 #include <cstdio>
 #include <map>
 
-#include "bench/harness.hh"
+#include "bench/sweep.hh"
 #include "src/common/stats.hh"
 #include "src/serving/k_decision.hh"
 
 using namespace modm;
 
-int
-main()
-{
-    constexpr int kPairs = 6000;
-    const std::vector<int> kSet = {5, 10, 15, 20, 25, 30};
-    const double alpha = 0.95;
+namespace {
 
-    workload::DiffusionDBModel gen({}, 13);
-    diffusion::Sampler sampler(5);
+const std::vector<int> kSet = {5, 10, 15, 20, 25, 30};
+
+/** One chunk of probe pairs; self-contained seeded streams. */
+std::vector<serving::CalibrationPoint>
+probeChunk(std::size_t chunk, std::size_t pairs)
+{
+    workload::DiffusionDBModel gen({}, 13 + 101 * chunk);
+    diffusion::Sampler sampler(5 + 1000 * chunk);
     eval::MetricSuite metrics;
     embedding::TextEncoder text;
     embedding::ImageEncoder image;
-    Rng rng(17);
+    Rng rng(17 + 31 * chunk);
 
     std::vector<serving::CalibrationPoint> points;
-    std::map<int, std::map<int, RunningStat>> cells;
-    for (int i = 0; i < kPairs; ++i) {
+    for (std::size_t i = 0; i < pairs; ++i) {
         auto base = gen.next();
         const auto baseImg =
             sampler.generate(diffusion::sd35Large(), base, 0.0);
@@ -60,7 +65,38 @@ main()
                                                 baseImg, k, 0.0);
             const double q = metrics.clipScore(query, refined) / fullClip;
             points.push_back({k, sim, q});
-            cells[k][static_cast<int>(sim * 100.0)].add(q);
+        }
+    }
+    return points;
+}
+
+} // namespace
+
+int
+main()
+{
+    constexpr std::size_t kPairs = 6000;
+    constexpr std::size_t kChunks = 12;
+    const double alpha = 0.95;
+
+    std::vector<std::function<std::vector<serving::CalibrationPoint>()>>
+        cells;
+    std::vector<std::string> labels;
+    for (std::size_t c = 0; c < kChunks; ++c) {
+        labels.push_back("chunk " + std::to_string(c));
+        cells.push_back([c] { return probeChunk(c, kPairs / kChunks); });
+    }
+    bench::SweepOptions options;
+    options.title = "Fig. 5";
+    const auto chunks = bench::runCells(std::move(cells), options, labels);
+
+    std::vector<serving::CalibrationPoint> points;
+    std::map<int, std::map<int, RunningStat>> cellStats;
+    for (const auto &chunk : chunks) {
+        for (const auto &p : chunk) {
+            points.push_back(p);
+            cellStats[p.k][static_cast<int>(p.similarity * 100.0)].add(
+                p.qualityFactor);
         }
     }
 
@@ -71,8 +107,8 @@ main()
         std::vector<std::string> row = {Table::fmt(bucket / 100.0, 2)};
         bool any = false;
         for (int k : kSet) {
-            const auto it = cells[k].find(bucket);
-            if (it != cells[k].end() && it->second.count() >= 20) {
+            const auto it = cellStats[k].find(bucket);
+            if (it != cellStats[k].end() && it->second.count() >= 20) {
                 row.push_back(Table::fmt(it->second.mean(), 3));
                 any = true;
             } else {

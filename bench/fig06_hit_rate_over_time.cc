@@ -8,7 +8,7 @@
 
 #include <cstdio>
 
-#include "bench/harness.hh"
+#include "bench/sweep.hh"
 #include "src/cache/image_cache.hh"
 #include "src/serving/k_decision.hh"
 
@@ -67,9 +67,17 @@ main()
 {
     constexpr std::size_t kRequests = 30000;
     constexpr std::size_t kWindow = 2000;
-    // Paper cache sizes 10k / 100k scaled to the request volume.
-    const auto smallCurve = hitRateCurve(2000, kRequests, kWindow);
-    const auto largeCurve = hitRateCurve(20000, kRequests, kWindow);
+
+    // Paper cache sizes 10k / 100k scaled to the request volume; the
+    // two curves are independent streams, so they run as two cells.
+    bench::SweepOptions options;
+    options.title = "Fig. 6";
+    const auto curves = bench::runCells<std::vector<double>>(
+        {[] { return hitRateCurve(2000, kRequests, kWindow); },
+         [] { return hitRateCurve(20000, kRequests, kWindow); }},
+        options, {"cache 2k", "cache 20k"});
+    const auto &smallCurve = curves[0];
+    const auto &largeCurve = curves[1];
 
     Table t({"requests", "hit rate (cache 2k)", "hit rate (cache 20k)"});
     for (std::size_t i = 0; i < smallCurve.size(); ++i) {

@@ -12,14 +12,12 @@
 
 #include <cstdio>
 
-#include "bench/harness.hh"
+#include "bench/sweep.hh"
 
 using namespace modm;
 
-namespace {
-
-void
-runDataset(bench::Dataset dataset)
+int
+main()
 {
     constexpr std::size_t kWarm = 3000;
     constexpr std::size_t kRequests = 3000;
@@ -29,41 +27,47 @@ runDataset(bench::Dataset dataset)
     params.gpu = diffusion::GpuKind::A40;
     params.cacheCapacity = 3000;
 
-    const auto bundle = bench::batchBundle(dataset, kWarm, kRequests);
     const auto lineup = bench::paperLineup(diffusion::sd35Large(), params);
+    const std::vector<bench::Dataset> datasets = {
+        bench::Dataset::DiffusionDB, bench::Dataset::MJHQ};
 
-    std::vector<serving::ServingResult> results;
-    for (const auto &spec : lineup)
-        results.push_back(bench::runSystem(spec.config, bundle));
+    bench::SweepSpec spec;
+    spec.options.title = "Fig. 7";
+    for (const auto dataset : datasets) {
+        for (const auto &system : lineup) {
+            spec.add(std::string(bench::datasetName(dataset)) + "/" +
+                         system.name,
+                     system.config, [dataset] {
+                         return bench::batchBundle(dataset, kWarm,
+                                                   kRequests);
+                     });
+        }
+    }
+    const auto results = bench::runSweep(spec);
 
-    const double vanilla = results.front().throughputPerMin;
     const std::vector<const char *> paperDdb = {"1.0", "1.2", "1.8",
                                                 "2.5", "3.2"};
     const std::vector<const char *> paperMjhq = {"1.0", "1.1", "1.4",
                                                  "2.1", "2.4"};
-    const auto &paper =
-        dataset == bench::Dataset::DiffusionDB ? paperDdb : paperMjhq;
-
-    Table t({"system", "throughput/min", "normalized", "paper",
-             "hit rate", "mean k"});
-    for (std::size_t i = 0; i < lineup.size(); ++i) {
-        t.addRow({lineup[i].name,
-                  Table::fmt(results[i].throughputPerMin),
-                  Table::fmt(results[i].throughputPerMin / vanilla, 2),
-                  paper[i],
-                  Table::fmt(results[i].hitRate),
-                  Table::fmt(results[i].metrics.meanK(), 1)});
+    for (std::size_t d = 0; d < datasets.size(); ++d) {
+        const auto &paper =
+            datasets[d] == bench::Dataset::DiffusionDB ? paperDdb
+                                                       : paperMjhq;
+        const double vanilla =
+            results[d * lineup.size()].throughputPerMin;
+        Table t({"system", "throughput/min", "normalized", "paper",
+                 "hit rate", "mean k"});
+        for (std::size_t i = 0; i < lineup.size(); ++i) {
+            const auto &r = results[d * lineup.size() + i];
+            t.addRow({lineup[i].name, Table::fmt(r.throughputPerMin),
+                      Table::fmt(r.throughputPerMin / vanilla, 2),
+                      paper[i], Table::fmt(r.hitRate),
+                      Table::fmt(r.metrics.meanK(), 1)});
+        }
+        t.print(std::string(
+                    "Fig. 7 — max throughput, large model SD3.5L, ") +
+                bench::datasetName(datasets[d]) +
+                " (3000 reqs, warm cache 3000, 4x A40)");
     }
-    t.print(std::string("Fig. 7 — max throughput, large model SD3.5L, ") +
-            bundle.dataset + " (3000 reqs, warm cache 3000, 4x A40)");
-}
-
-} // namespace
-
-int
-main()
-{
-    runDataset(bench::Dataset::DiffusionDB);
-    runDataset(bench::Dataset::MJHQ);
     return 0;
 }

@@ -9,7 +9,7 @@
 
 #include <cstdio>
 
-#include "bench/harness.hh"
+#include "bench/sweep.hh"
 
 using namespace modm;
 
@@ -21,13 +21,16 @@ main()
     params.gpu = diffusion::GpuKind::A40;
     params.cacheCapacity = 3000;
 
-    const auto bundle =
-        bench::batchBundle(bench::Dataset::DiffusionDB, 3000, 3000);
     const auto lineup = bench::paperLineup(diffusion::flux1Dev(), params);
 
-    std::vector<serving::ServingResult> results;
-    for (const auto &spec : lineup)
-        results.push_back(bench::runSystem(spec.config, bundle));
+    bench::SweepSpec spec;
+    spec.options.title = "Fig. 8";
+    spec.addGrid(lineup, {{"", [] {
+                               return bench::batchBundle(
+                                   bench::Dataset::DiffusionDB, 3000,
+                                   3000);
+                           }}});
+    const auto results = bench::runSweep(spec);
 
     const double vanilla = results.front().throughputPerMin;
     const std::vector<const char *> paper = {"1.0", "1.2", "2.0", "2.4",

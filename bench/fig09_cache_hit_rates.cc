@@ -12,12 +12,14 @@
 
 #include <cstdio>
 
-#include "bench/harness.hh"
+#include "bench/sweep.hh"
 #include "src/serving/scheduler.hh"
 
 using namespace modm;
 
 namespace {
+
+constexpr std::size_t kRequests = 8000;
 
 struct CellResult
 {
@@ -35,6 +37,7 @@ streamOne(const serving::ServingConfig &config, bench::Dataset dataset,
 {
     auto gen = bench::makeGenerator(dataset, 42);
     serving::RequestScheduler scheduler(config);
+    scheduler.reserveCache(warm);
     diffusion::Sampler sampler(config.seed ^ 0x5a3b1e9cULL);
 
     for (std::size_t i = 0; i < warm; ++i) {
@@ -80,44 +83,63 @@ streamOne(const serving::ServingConfig &config, bench::Dataset dataset,
     return out;
 }
 
+/** The three systems compared at one cache size. */
+std::vector<std::pair<std::string, serving::ServingConfig>>
+lineupFor(std::size_t size)
+{
+    baselines::PresetParams params;
+    params.cacheCapacity = size;
+
+    std::vector<std::pair<std::string, serving::ServingConfig>> row;
+    row.emplace_back("NIRVANA",
+                     baselines::nirvana(diffusion::sd35Large(), params));
+    auto cacheLarge = baselines::modm(diffusion::sd35Large(),
+                                      diffusion::sdxl(), params);
+    cacheLarge.admission = serving::AdmissionPolicy::CacheLargeOnly;
+    row.emplace_back("MoDM cache-large", cacheLarge);
+    row.emplace_back("MoDM cache-all",
+                     baselines::modm(diffusion::sd35Large(),
+                                     diffusion::sdxl(), params));
+    return row;
+}
+
 void
 runDataset(bench::Dataset dataset, const std::vector<std::size_t> &sizes,
            const char *figure)
 {
-    constexpr std::size_t kRequests = 8000;
+    std::vector<std::function<CellResult()>> cells;
+    std::vector<std::string> labels;
+    std::vector<std::pair<std::size_t, std::string>> grid;
+    for (const std::size_t size : sizes) {
+        for (const auto &[name, config] : lineupFor(size)) {
+            grid.emplace_back(size, name);
+            labels.push_back(name + "/size=" + std::to_string(size));
+            cells.push_back([config = config, dataset, size] {
+                return streamOne(config, dataset,
+                                 std::min(size, kRequests / 2),
+                                 kRequests);
+            });
+        }
+    }
+    bench::SweepOptions options;
+    options.title = figure;
+    const auto results =
+        bench::runCells(std::move(cells), options, labels);
+
     Table t({"cache size", "system", "hit rate", "k=5", "k=10", "k=15",
              "k=20", "k=25", "k=30"});
-    for (std::size_t size : sizes) {
-        baselines::PresetParams params;
-        params.cacheCapacity = size;
-
-        std::vector<std::pair<std::string, serving::ServingConfig>> row;
-        row.emplace_back("NIRVANA",
-                         baselines::nirvana(diffusion::sd35Large(),
-                                            params));
-        auto cacheLarge = baselines::modm(diffusion::sd35Large(),
-                                          diffusion::sdxl(), params);
-        cacheLarge.admission = serving::AdmissionPolicy::CacheLargeOnly;
-        row.emplace_back("MoDM cache-large", cacheLarge);
-        row.emplace_back("MoDM cache-all",
-                         baselines::modm(diffusion::sd35Large(),
-                                         diffusion::sdxl(), params));
-
-        for (const auto &[name, config] : row) {
-            const auto result = streamOne(config, dataset,
-                                          std::min(size, kRequests / 2),
-                                          kRequests);
-            std::vector<std::string> cells = {
-                Table::fmt(static_cast<std::uint64_t>(size)), name,
-                Table::fmt(result.hitRate, 3)};
-            for (int k : {5, 10, 15, 20, 25, 30}) {
-                const auto it = result.kDist.find(k);
-                cells.push_back(it == result.kDist.end()
-                                    ? "-"
-                                    : Table::fmt(it->second, 2));
-            }
-            t.addRow(cells);
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        const auto &result = results[i];
+        std::vector<std::string> cellsRow = {
+            Table::fmt(static_cast<std::uint64_t>(grid[i].first)),
+            grid[i].second, Table::fmt(result.hitRate, 3)};
+        for (int k : {5, 10, 15, 20, 25, 30}) {
+            const auto it = result.kDist.find(k);
+            cellsRow.push_back(it == result.kDist.end()
+                                   ? "-"
+                                   : Table::fmt(it->second, 2));
         }
+        t.addRow(cellsRow);
     }
     t.print(std::string(figure) + " — hit rates and k distribution, " +
             bench::datasetName(dataset) + " (8000 requests)");

@@ -10,7 +10,7 @@
 
 #include <cstdio>
 
-#include "bench/harness.hh"
+#include "bench/sweep.hh"
 
 using namespace modm;
 
@@ -23,7 +23,7 @@ main()
         segments.push_back({1200.0, rate});
     const double duration = 1200.0 * segments.size();
 
-    auto makeBundle = [&]() {
+    const auto makeBundle = [segments, duration] {
         bench::WorkloadBundle bundle;
         bundle.dataset = "DiffusionDB";
         auto gen = workload::makeDiffusionDB(42);
@@ -41,17 +41,21 @@ main()
     params.gpu = diffusion::GpuKind::MI210;
     params.cacheCapacity = 4000;
 
-    std::vector<bench::SystemSpec> lineup = {
-        {"Vanilla", baselines::vanilla(diffusion::sd35Large(), params)},
-        {"NIRVANA", baselines::nirvana(diffusion::sd35Large(), params)},
-        {"MoDM", baselines::modmMulti(
-                     diffusion::sd35Large(),
-                     {diffusion::sdxl(), diffusion::sana()}, params)},
-    };
-
-    std::vector<serving::ServingResult> results;
-    for (const auto &spec : lineup)
-        results.push_back(bench::runSystem(spec.config, makeBundle()));
+    bench::SweepSpec spec;
+    spec.options.title = "Fig. 10";
+    spec.addGrid(
+        {
+            {"Vanilla",
+             baselines::vanilla(diffusion::sd35Large(), params)},
+            {"NIRVANA",
+             baselines::nirvana(diffusion::sd35Large(), params)},
+            {"MoDM", baselines::modmMulti(
+                         diffusion::sd35Large(),
+                         {diffusion::sdxl(), diffusion::sana()},
+                         params)},
+        },
+        {{"", makeBundle}});
+    const auto results = bench::runSweep(spec);
 
     // Throughput per 4-minute window over the schedule.
     Table t({"time (min)", "demand", "Vanilla", "NIRVANA", "MoDM"});

@@ -12,7 +12,7 @@
 
 #include <cstdio>
 
-#include "bench/harness.hh"
+#include "bench/sweep.hh"
 
 using namespace modm;
 
@@ -27,27 +27,33 @@ main()
     const std::vector<const char *> paper = {"1.0", "2.3", "3.3", "4.2",
                                              "5.7", "7.2", "8.1", "9.3"};
 
-    std::vector<double> throughput;
-    std::vector<double> hitRates;
-    for (std::size_t gpus : gpuCounts) {
-        bench::WorkloadBundle bundle;
-        auto gen = workload::makeDiffusionDB(42);
-        for (int i = 0; i < 300; ++i)
-            bundle.warm.push_back(gen->next());
-        workload::PoissonArrivals arrivals(kDemand);
-        Rng rng(42);
-        bundle.trace = workload::buildTraceForDuration(
-            *gen, arrivals, kDuration, rng);
-
+    bench::SweepSpec spec;
+    spec.options.title = "Fig. 11";
+    for (const std::size_t gpus : gpuCounts) {
         baselines::PresetParams params;
         params.numWorkers = gpus;
         params.gpu = diffusion::GpuKind::MI210;
         params.cacheCapacity = 6000;
-        const auto result = bench::runSystem(
-            baselines::modm(diffusion::sd35Large(), diffusion::sdxl(),
-                            params),
-            bundle);
+        spec.add("gpus=" + std::to_string(gpus),
+                 baselines::modm(diffusion::sd35Large(),
+                                 diffusion::sdxl(), params),
+                 [] {
+                     bench::WorkloadBundle bundle;
+                     auto gen = workload::makeDiffusionDB(42);
+                     for (int i = 0; i < 300; ++i)
+                         bundle.warm.push_back(gen->next());
+                     workload::PoissonArrivals arrivals(kDemand);
+                     Rng rng(42);
+                     bundle.trace = workload::buildTraceForDuration(
+                         *gen, arrivals, kDuration, rng);
+                     return bundle;
+                 });
+    }
+    const auto results = bench::runSweep(spec);
 
+    std::vector<double> throughput;
+    std::vector<double> hitRates;
+    for (const auto &result : results) {
         // Completions inside the demand window (the run drains the
         // remaining queue afterwards; that tail is excluded).
         const auto perMin = result.metrics.completionsPerMinute(

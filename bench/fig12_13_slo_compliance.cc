@@ -11,51 +11,66 @@
 
 #include <cstdio>
 
-#include "bench/harness.hh"
+#include "bench/sweep.hh"
 
 using namespace modm;
 
 namespace {
 
-void
-runCluster(std::size_t gpus, diffusion::GpuKind kind,
-           const std::vector<double> &rates, const char *label)
-{
-    constexpr std::size_t kRequests = 1200;
+constexpr std::size_t kRequests = 1200;
 
+/** Vanilla / NIRVANA / MoDM at the given cluster shape. */
+std::vector<bench::SystemSpec>
+lineupFor(std::size_t gpus, diffusion::GpuKind kind)
+{
     baselines::PresetParams params;
     params.numWorkers = gpus;
     params.gpu = kind;
     params.cacheCapacity = 3000;
+    return {
+        {"Vanilla", baselines::vanilla(diffusion::sd35Large(), params)},
+        {"NIRVANA", baselines::nirvana(diffusion::sd35Large(), params)},
+        {"MoDM", baselines::modmMulti(diffusion::sd35Large(),
+                                      {diffusion::sdxl(),
+                                       diffusion::sana()},
+                                      params)},
+    };
+}
 
-    const double largeLatency =
-        diffusion::sd35Large().fullLatency(kind);
+void
+addCluster(bench::SweepSpec &spec, std::size_t gpus,
+           diffusion::GpuKind kind, const std::vector<double> &rates)
+{
+    const auto lineup = lineupFor(gpus, kind);
+    for (const double rate : rates) {
+        for (const auto &system : lineup) {
+            spec.add(system.name + "@" + Table::fmt(rate, 0),
+                     system.config, [rate] {
+                         return bench::poissonBundle(
+                             bench::Dataset::DiffusionDB, 2500,
+                             kRequests, rate);
+                     });
+        }
+    }
+}
 
+void
+printCluster(const std::vector<serving::ServingResult> &results,
+             std::size_t offset, diffusion::GpuKind kind,
+             const std::vector<double> &rates, const char *label)
+{
+    const double largeLatency = diffusion::sd35Large().fullLatency(kind);
     Table t({"rate/min", "Vanilla 2x", "NIRVANA 2x", "MoDM 2x",
              "Vanilla 4x", "NIRVANA 4x", "MoDM 4x"});
-    for (double rate : rates) {
-        std::vector<std::string> row = {Table::fmt(rate, 0)};
-        std::vector<double> at2x, at4x;
-        const std::vector<serving::ServingConfig> configs = {
-            baselines::vanilla(diffusion::sd35Large(), params),
-            baselines::nirvana(diffusion::sd35Large(), params),
-            baselines::modmMulti(diffusion::sd35Large(),
-                                 {diffusion::sdxl(), diffusion::sana()},
-                                 params),
-        };
-        for (const auto &config : configs) {
-            const auto bundle = bench::poissonBundle(
-                bench::Dataset::DiffusionDB, 2500, kRequests, rate);
-            const auto result = bench::runSystem(config, bundle);
-            at2x.push_back(
-                result.metrics.sloViolationRate(2.0 * largeLatency));
-            at4x.push_back(
-                result.metrics.sloViolationRate(4.0 * largeLatency));
+    for (std::size_t r = 0; r < rates.size(); ++r) {
+        std::vector<std::string> row = {Table::fmt(rates[r], 0)};
+        for (const double slo : {2.0, 4.0}) {
+            for (std::size_t s = 0; s < 3; ++s) {
+                row.push_back(Table::fmt(
+                    results[offset + r * 3 + s]
+                        .metrics.sloViolationRate(slo * largeLatency)));
+            }
         }
-        for (double v : at2x)
-            row.push_back(Table::fmt(v));
-        for (double v : at4x)
-            row.push_back(Table::fmt(v));
         t.addRow(row);
     }
     t.print(std::string("Figs. 12/13 — SLO violation rate, ") + label +
@@ -67,9 +82,20 @@ runCluster(std::size_t gpus, diffusion::GpuKind kind,
 int
 main()
 {
-    runCluster(4, diffusion::GpuKind::A40,
-               {3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0}, "4x NVIDIA A40");
-    runCluster(16, diffusion::GpuKind::MI210,
-               {6.0, 10.0, 14.0, 18.0, 22.0, 26.0}, "16x AMD MI210");
+    const std::vector<double> a40Rates = {3.0, 4.0, 5.0, 6.0, 7.0,
+                                          8.0, 9.0, 10.0};
+    const std::vector<double> mi210Rates = {6.0, 10.0, 14.0, 18.0, 22.0,
+                                            26.0};
+
+    bench::SweepSpec spec;
+    spec.options.title = "Figs. 12/13";
+    addCluster(spec, 4, diffusion::GpuKind::A40, a40Rates);
+    addCluster(spec, 16, diffusion::GpuKind::MI210, mi210Rates);
+    const auto results = bench::runSweep(spec);
+
+    printCluster(results, 0, diffusion::GpuKind::A40, a40Rates,
+                 "4x NVIDIA A40");
+    printCluster(results, a40Rates.size() * 3, diffusion::GpuKind::MI210,
+                 mi210Rates, "16x AMD MI210");
     return 0;
 }

@@ -12,9 +12,20 @@
 
 #include <cstdio>
 
-#include "bench/harness.hh"
+#include "bench/sweep.hh"
 
 using namespace modm;
+
+namespace {
+
+struct ParetoPoint
+{
+    double throughput = 0.0;
+    double fid = 0.0;
+    double clip = 0.0;
+};
+
+} // namespace
 
 int
 main()
@@ -59,20 +70,37 @@ main()
     for (auto &floor : lineup[10].config.kDecision.floors)
         floor += 0.01;                       // threshold +0.01
 
-    eval::MetricSuite metrics;
+    // Each cell runs serving *and* quality evaluation (reference
+    // generations + FID/CLIP), so the expensive metric passes fan out
+    // with the experiments.
+    std::vector<std::function<ParetoPoint()>> cells;
+    std::vector<std::string> labels;
+    for (const auto &spec : lineup) {
+        labels.push_back(spec.name);
+        cells.push_back([config = spec.config, large] {
+            const auto bundle = bench::batchBundle(
+                bench::Dataset::DiffusionDB, kWarm, kRequests);
+            const auto result = bench::runSystem(config, bundle);
+            const auto reference =
+                bench::referenceImages(result.prompts, large);
+            eval::MetricSuite metrics;
+            const auto q = metrics.report(result.prompts, result.images,
+                                          reference);
+            return ParetoPoint{result.throughputPerMin, q.fid, q.clip};
+        });
+    }
+    bench::SweepOptions options;
+    options.title = "Fig. 14";
+    const auto points =
+        bench::runCells(std::move(cells), options, labels);
+
     Table t({"strategy", "throughput/min", "1/throughput", "FID",
              "CLIP"});
-    for (const auto &spec : lineup) {
-        const auto bundle = bench::batchBundle(
-            bench::Dataset::DiffusionDB, kWarm, kRequests);
-        const auto result = bench::runSystem(spec.config, bundle);
-        const auto reference =
-            bench::referenceImages(result.prompts, large);
-        const auto q =
-            metrics.report(result.prompts, result.images, reference);
-        t.addRow({spec.name, Table::fmt(result.throughputPerMin),
-                  Table::fmt(1.0 / result.throughputPerMin, 3),
-                  Table::fmt(q.fid, 1), Table::fmt(q.clip)});
+    for (std::size_t i = 0; i < lineup.size(); ++i) {
+        t.addRow({lineup[i].name, Table::fmt(points[i].throughput),
+                  Table::fmt(1.0 / points[i].throughput, 3),
+                  Table::fmt(points[i].fid, 1),
+                  Table::fmt(points[i].clip)});
     }
     t.print("Fig. 14 — quality/performance trade-off space (FLUX "
             "large model, DiffusionDB; lower-left is better)");

@@ -10,7 +10,7 @@
 
 #include <cstdio>
 
-#include "bench/harness.hh"
+#include "bench/sweep.hh"
 #include "src/common/stats.hh"
 
 using namespace modm;
@@ -23,21 +23,26 @@ main()
     constexpr double kDuration = 10.0 * 3600.0;
     constexpr double kRate = 20.0;
 
-    bench::WorkloadBundle bundle;
-    auto gen = workload::makeDiffusionDB(42);
-    workload::PoissonArrivals arrivals(kRate);
-    Rng rng(42);
-    bundle.trace = workload::buildTraceForDuration(*gen, arrivals,
-                                                   kDuration, rng);
-
     baselines::PresetParams params;
     params.numWorkers = 24; // enough capacity to stay unqueued
     params.gpu = diffusion::GpuKind::MI210;
     params.cacheCapacity = 20000;
-    const auto result = bench::runSystem(
-        baselines::modm(diffusion::sd35Large(), diffusion::sdxl(),
-                        params),
-        bundle);
+
+    bench::SweepSpec spec;
+    spec.options.title = "Fig. 15";
+    spec.add("MoDM-SDXL",
+             baselines::modm(diffusion::sd35Large(), diffusion::sdxl(),
+                             params),
+             [] {
+                 bench::WorkloadBundle bundle;
+                 auto gen = workload::makeDiffusionDB(42);
+                 workload::PoissonArrivals arrivals(kRate);
+                 Rng rng(42);
+                 bundle.trace = workload::buildTraceForDuration(
+                     *gen, arrivals, kDuration, rng);
+                 return bundle;
+             });
+    const auto result = bench::runSweep(spec).front();
 
     Histogram ages(0.0, 10.0 * 3600.0, 20); // 30-minute bins
     std::size_t withinFourHours = 0;

@@ -9,38 +9,54 @@
 
 #include <cstdio>
 
-#include "bench/harness.hh"
+#include "bench/sweep.hh"
 
 using namespace modm;
 
 namespace {
 
 void
-runCluster(std::size_t gpus, diffusion::GpuKind kind,
-           const std::vector<double> &rates, const char *label)
+addCluster(bench::SweepSpec &spec, std::size_t gpus,
+           diffusion::GpuKind kind, const std::vector<double> &rates)
 {
     baselines::PresetParams params;
     params.numWorkers = gpus;
     params.gpu = kind;
     params.cacheCapacity = 3000;
+    const std::vector<bench::SystemSpec> lineup = {
+        {"Vanilla", baselines::vanilla(diffusion::sd35Large(), params)},
+        {"NIRVANA", baselines::nirvana(diffusion::sd35Large(), params)},
+        {"MoDM", baselines::modmMulti(diffusion::sd35Large(),
+                                      {diffusion::sdxl(),
+                                       diffusion::sana()},
+                                      params)},
+    };
+    for (const double rate : rates) {
+        for (const auto &system : lineup) {
+            spec.add(system.name + "@" + Table::fmt(rate, 0),
+                     system.config, [rate] {
+                         return bench::poissonBundle(
+                             bench::Dataset::DiffusionDB, 2500, 1200,
+                             rate);
+                     });
+        }
+    }
+}
 
+void
+printCluster(const std::vector<serving::ServingResult> &results,
+             std::size_t offset, const std::vector<double> &rates,
+             const char *label)
+{
     Table t({"rate/min", "Vanilla p99 (s)", "NIRVANA p99 (s)",
              "MoDM p99 (s)"});
-    for (double rate : rates) {
-        std::vector<std::string> row = {Table::fmt(rate, 0)};
-        const std::vector<serving::ServingConfig> configs = {
-            baselines::vanilla(diffusion::sd35Large(), params),
-            baselines::nirvana(diffusion::sd35Large(), params),
-            baselines::modmMulti(diffusion::sd35Large(),
-                                 {diffusion::sdxl(), diffusion::sana()},
-                                 params),
-        };
-        for (const auto &config : configs) {
-            const auto bundle = bench::poissonBundle(
-                bench::Dataset::DiffusionDB, 2500, 1200, rate);
-            const auto result = bench::runSystem(config, bundle);
-            row.push_back(
-                Table::fmt(result.metrics.latencyPercentile(99.0), 0));
+    for (std::size_t r = 0; r < rates.size(); ++r) {
+        std::vector<std::string> row = {Table::fmt(rates[r], 0)};
+        for (std::size_t s = 0; s < 3; ++s) {
+            row.push_back(Table::fmt(
+                results[offset + r * 3 + s].metrics.latencyPercentile(
+                    99.0),
+                0));
         }
         t.addRow(row);
     }
@@ -52,9 +68,19 @@ runCluster(std::size_t gpus, diffusion::GpuKind kind,
 int
 main()
 {
-    runCluster(4, diffusion::GpuKind::A40,
-               {3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0}, "4x NVIDIA A40");
-    runCluster(16, diffusion::GpuKind::MI210,
-               {6.0, 10.0, 14.0, 18.0, 22.0, 26.0}, "16x AMD MI210");
+    const std::vector<double> a40Rates = {3.0, 4.0, 5.0, 6.0, 7.0,
+                                          8.0, 9.0, 10.0};
+    const std::vector<double> mi210Rates = {6.0, 10.0, 14.0, 18.0, 22.0,
+                                            26.0};
+
+    bench::SweepSpec spec;
+    spec.options.title = "Fig. 16";
+    addCluster(spec, 4, diffusion::GpuKind::A40, a40Rates);
+    addCluster(spec, 16, diffusion::GpuKind::MI210, mi210Rates);
+    const auto results = bench::runSweep(spec);
+
+    printCluster(results, 0, a40Rates, "4x NVIDIA A40");
+    printCluster(results, a40Rates.size() * 3, mi210Rates,
+                 "16x AMD MI210");
     return 0;
 }

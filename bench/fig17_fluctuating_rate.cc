@@ -10,7 +10,7 @@
 
 #include <cstdio>
 
-#include "bench/harness.hh"
+#include "bench/sweep.hh"
 
 using namespace modm;
 
@@ -24,7 +24,7 @@ main()
     };
     const double duration = 960.0 * segments.size();
 
-    auto makeBundle = [&]() {
+    const auto makeBundle = [segments, duration] {
         bench::WorkloadBundle bundle;
         bundle.dataset = "DiffusionDB";
         auto gen = workload::makeDiffusionDB(42);
@@ -42,20 +42,26 @@ main()
     params.gpu = diffusion::GpuKind::MI210;
     params.cacheCapacity = 4000;
 
-    const std::vector<bench::SystemSpec> lineup = {
-        {"Vanilla", baselines::vanilla(diffusion::sd35Large(), params)},
-        {"NIRVANA", baselines::nirvana(diffusion::sd35Large(), params)},
-        {"MoDM", baselines::modmMulti(
-                     diffusion::sd35Large(),
-                     {diffusion::sdxl(), diffusion::sana()}, params)},
-    };
+    bench::SweepSpec spec;
+    spec.options.title = "Fig. 17";
+    spec.addGrid(
+        {
+            {"Vanilla",
+             baselines::vanilla(diffusion::sd35Large(), params)},
+            {"NIRVANA",
+             baselines::nirvana(diffusion::sd35Large(), params)},
+            {"MoDM", baselines::modmMulti(
+                         diffusion::sd35Large(),
+                         {diffusion::sdxl(), diffusion::sana()},
+                         params)},
+        },
+        {{"", makeBundle}});
+    const auto results = bench::runSweep(spec);
 
     std::vector<std::vector<double>> perMin;
-    for (const auto &spec : lineup) {
-        const auto result = bench::runSystem(spec.config, makeBundle());
+    for (const auto &result : results)
         perMin.push_back(
             result.metrics.completionsPerMinute(result.duration));
-    }
 
     Table t({"time (min)", "demand", "Vanilla", "NIRVANA", "MoDM"});
     const std::size_t windows =

@@ -10,7 +10,7 @@
 
 #include <cstdio>
 
-#include "bench/harness.hh"
+#include "bench/sweep.hh"
 
 using namespace modm;
 
@@ -33,20 +33,23 @@ main()
     const std::vector<const char *> paper = {"0.0%", "23.9%", "46.7%",
                                              "66.3%"};
 
+    bench::SweepSpec spec;
+    spec.options.title = "Fig. 18";
+    spec.addGrid(lineup, {{"", [] {
+                               return bench::batchBundle(
+                                   bench::Dataset::DiffusionDB, 3000,
+                                   3000);
+                           }}});
+    const auto results = bench::runSweep(spec);
+
     // Compare energy per completed request over the same workload; the
     // batch runs have different durations, so the per-request compute
     // energy (excluding idle draw) is the apples-to-apples number Zeus
     // reports for busy clusters.
     std::vector<double> energyPerRequest;
-    std::vector<serving::ServingResult> results;
-    for (const auto &spec : lineup) {
-        const auto bundle =
-            bench::batchBundle(bench::Dataset::DiffusionDB, 3000, 3000);
-        auto result = bench::runSystem(spec.config, bundle);
+    for (const auto &result : results)
         energyPerRequest.push_back(result.energyJ /
                                    result.metrics.count());
-        results.push_back(std::move(result));
-    }
 
     Table t({"system", "energy/request (kJ)", "savings", "paper"});
     for (std::size_t i = 0; i < lineup.size(); ++i) {

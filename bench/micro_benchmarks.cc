@@ -10,8 +10,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+
 #include "src/cache/image_cache.hh"
 #include "src/common/rng.hh"
+#include "src/common/thread_pool.hh"
 #include "src/diffusion/sampler.hh"
 #include "src/embedding/encoder.hh"
 #include "src/embedding/index.hh"
@@ -221,6 +224,49 @@ BM_EventQueueScheduleRun(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_EventQueueScheduleRun);
+
+/**
+ * Task submission + completion round-trip of the shared pool: the
+ * fixed cost every sweep cell and every sharded scan pays. Arg is the
+ * batch size submitted per wait.
+ */
+void
+BM_ThreadPoolTaskBatch(benchmark::State &state)
+{
+    const std::size_t batch = state.range(0);
+    ThreadPool pool(3);
+    for (auto _ : state) {
+        std::atomic<std::size_t> ran{0};
+        ThreadPool::TaskGroup group(pool);
+        for (std::size_t i = 0; i < batch; ++i)
+            group.submit([&ran] { ++ran; });
+        group.wait();
+        benchmark::DoNotOptimize(ran.load());
+    }
+    state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_ThreadPoolTaskBatch)->Arg(8)->Arg(64)->Arg(512);
+
+/**
+ * Nested fan-out: every outer task runs its own parallelFor on the
+ * same pool — the shape of a concurrent experiment that shards its
+ * retrieval scans. Measures that nesting stays cheap, not just
+ * deadlock-free.
+ */
+void
+BM_ThreadPoolNestedParallelFor(benchmark::State &state)
+{
+    ThreadPool pool(3);
+    for (auto _ : state) {
+        std::atomic<std::size_t> ran{0};
+        pool.parallelFor(8, [&](std::size_t) {
+            pool.parallelFor(8, [&](std::size_t) { ++ran; });
+        });
+        benchmark::DoNotOptimize(ran.load());
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_ThreadPoolNestedParallelFor);
 
 } // namespace
 

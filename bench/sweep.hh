@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Declarative experiment sweeps for the figure/table binaries.
+ *
+ * Every bench binary used to hand-roll the same loop: build a
+ * (system × dataset × knob) line-up, run one ServingSystem per cell on
+ * one core, tabulate. runSweep()/runCells() replace that boilerplate
+ * with a declarative cell list executed *concurrently* on the shared
+ * task pool — experiments are share-nothing (each cell constructs its
+ * own workload and system from its config seed), so a sweep at
+ * parallelism N produces bit-identical results to parallelism 1, just
+ * N-ish times faster. Results always come back in cell-declaration
+ * order and tables are rendered only after every cell finished, which
+ * keeps stdout byte-identical across parallelism levels (per-cell
+ * progress goes to stderr).
+ *
+ * Environment knobs (so CI can pin determinism without rebuilding):
+ *   MODM_SWEEP_PARALLELISM  0 = match the pool (default), 1 = serial,
+ *                           N = at most N cells in flight.
+ *   MODM_SWEEP_PROGRESS     0 silences the stderr progress lines.
+ */
+
+#ifndef MODM_BENCH_SWEEP_HH
+#define MODM_BENCH_SWEEP_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/harness.hh"
+#include "src/common/log.hh"
+#include "src/common/thread_pool.hh"
+
+namespace modm::bench {
+
+/** Execution options for one sweep. */
+struct SweepOptions
+{
+    /** Shown in progress lines, e.g. "Fig. 7". */
+    std::string title;
+    /**
+     * Cells in flight at once: 0 = match the global pool's
+     * concurrency, 1 = serial (reference ordering), N = cap at N.
+     * MODM_SWEEP_PARALLELISM overrides when set.
+     */
+    std::size_t parallelism = 0;
+    /** Per-cell progress lines on stderr (MODM_SWEEP_PROGRESS=0 off). */
+    bool progress = true;
+};
+
+/** Effective cell concurrency after env override. */
+inline std::size_t
+resolveSweepParallelism(const SweepOptions &options)
+{
+    if (const char *env = std::getenv("MODM_SWEEP_PARALLELISM")) {
+        const long v = std::atol(env);
+        if (v == 0)
+            return ThreadPool::global().concurrency();
+        if (v >= 1)
+            return static_cast<std::size_t>(v);
+    }
+    if (options.parallelism == 0)
+        return ThreadPool::global().concurrency();
+    return options.parallelism;
+}
+
+/** Effective progress flag after env override. */
+inline bool
+resolveSweepProgress(const SweepOptions &options)
+{
+    if (const char *env = std::getenv("MODM_SWEEP_PROGRESS")) {
+        if (env[0] == '0' && env[1] == '\0')
+            return false;
+    }
+    return options.progress;
+}
+
+/**
+ * Run every cell function concurrently (capped per options) and return
+ * their results in cell order. The engine is generic over the result
+ * type so binaries with bespoke measurements (streamed cache
+ * simulations, quality evaluations) use the same scheduler as full
+ * serving runs.
+ *
+ * Cells must be share-nothing: no mutable state reachable from two
+ * cells, results derived only from the cell's own inputs. Cells run on
+ * the global task pool and may themselves use it (nested sharded
+ * retrieval works).
+ */
+template <typename R>
+std::vector<R>
+runCells(std::vector<std::function<R()>> cells,
+         const SweepOptions &options = {},
+         const std::vector<std::string> &labels = {})
+{
+    MODM_ASSERT(labels.empty() || labels.size() == cells.size(),
+                "sweep labels must align with cells");
+    const std::size_t n = cells.size();
+    std::vector<R> results(n);
+    if (n == 0)
+        return results;
+
+    const bool progress = resolveSweepProgress(options);
+    const std::size_t parallelism =
+        std::min(resolveSweepParallelism(options), n);
+    const auto started = std::chrono::steady_clock::now();
+
+    std::mutex progressMutex;
+    std::atomic<std::size_t> nextCell{0};
+    std::atomic<std::size_t> doneCells{0};
+    const auto runOne = [&](std::size_t i) {
+        results[i] = cells[i]();
+        const std::size_t done = ++doneCells;
+        if (progress) {
+            const double elapsed =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - started)
+                    .count();
+            std::lock_guard<std::mutex> lock(progressMutex);
+            std::fprintf(stderr, "[%s] %zu/%zu done%s%s (%.1fs)\n",
+                         options.title.empty() ? "sweep"
+                                               : options.title.c_str(),
+                         done, n, labels.empty() ? "" : ": ",
+                         labels.empty() ? "" : labels[i].c_str(),
+                         elapsed);
+        }
+    };
+
+    if (parallelism <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            runOne(i);
+        return results;
+    }
+
+    // Pullers claim cells from a shared counter: at most `parallelism`
+    // cells in flight, no idle tail when cell costs are skewed.
+    // parallelFor runs puller zero on the caller, so progress never
+    // depends on free pool workers (sweeps themselves may run inside
+    // pool tasks).
+    ThreadPool::global().parallelFor(parallelism, [&](std::size_t) {
+        for (;;) {
+            const std::size_t i = nextCell.fetch_add(1);
+            if (i >= n)
+                return;
+            runOne(i);
+        }
+    });
+    return results;
+}
+
+/** One declarative serving experiment: label, config, workload. */
+struct SweepCell
+{
+    /** Row label, e.g. "MoDM-SDXL" or "DiffusionDB/rate=6". */
+    std::string label;
+    /** Full system configuration (carries the experiment seed). */
+    serving::ServingConfig config;
+    /**
+     * Builds the cell's workload *inside* the cell so concurrent
+     * experiments share nothing; generators are seeded, so rebuilt
+     * bundles are identical run to run.
+     */
+    std::function<WorkloadBundle()> bundle;
+};
+
+/**
+ * A declarative sweep over serving experiments: the cartesian
+ * system × dataset × knob grid a figure explores, flattened into
+ * cells in row order.
+ */
+struct SweepSpec
+{
+    SweepOptions options;
+    std::vector<SweepCell> cells;
+
+    /** Append one cell; returns its index into runSweep()'s results. */
+    std::size_t add(std::string label, serving::ServingConfig config,
+                    std::function<WorkloadBundle()> bundle)
+    {
+        cells.push_back(
+            {std::move(label), std::move(config), std::move(bundle)});
+        return cells.size() - 1;
+    }
+
+    /**
+     * Append the cartesian product systems × bundles (system-major),
+     * labeled "system/bundle".
+     */
+    void addGrid(
+        const std::vector<SystemSpec> &systems,
+        const std::vector<
+            std::pair<std::string, std::function<WorkloadBundle()>>>
+            &bundles)
+    {
+        for (const auto &system : systems) {
+            for (const auto &[name, factory] : bundles) {
+                add(name.empty() ? system.name
+                                 : system.name + "/" + name,
+                    system.config, factory);
+            }
+        }
+    }
+};
+
+/**
+ * Execute every cell of the spec (warm cache from the bundle, replay
+ * its trace) and return the ServingResults in cell order.
+ */
+inline std::vector<serving::ServingResult>
+runSweep(const SweepSpec &spec)
+{
+    std::vector<std::function<serving::ServingResult()>> cells;
+    std::vector<std::string> labels;
+    cells.reserve(spec.cells.size());
+    labels.reserve(spec.cells.size());
+    for (const auto &cell : spec.cells) {
+        labels.push_back(cell.label);
+        cells.push_back([&cell] {
+            return runSystem(cell.config, cell.bundle());
+        });
+    }
+    return runCells(std::move(cells), spec.options, labels);
+}
+
+/**
+ * Split [0, total) into `parts` contiguous ranges (first..last), for
+ * porting streamed measurements to cells. The split is a fixed
+ * function of (total, parts) — never of the machine — so chunked
+ * results are identical on any host at any parallelism.
+ */
+inline std::vector<std::pair<std::size_t, std::size_t>>
+splitRange(std::size_t total, std::size_t parts)
+{
+    MODM_ASSERT(parts > 0, "splitRange needs at least one part");
+    std::vector<std::pair<std::size_t, std::size_t>> ranges;
+    ranges.reserve(parts);
+    for (std::size_t p = 0; p < parts; ++p) {
+        const std::size_t lo = total * p / parts;
+        const std::size_t hi = total * (p + 1) / parts;
+        if (lo < hi)
+            ranges.emplace_back(lo, hi);
+    }
+    return ranges;
+}
+
+} // namespace modm::bench
+
+#endif // MODM_BENCH_SWEEP_HH

@@ -13,25 +13,19 @@
 
 #include <cstdio>
 
-#include "bench/harness.hh"
+#include "bench/sweep.hh"
 
 using namespace modm;
 
 namespace {
 
-void
-runDataset(bench::Dataset dataset,
-           const std::vector<std::vector<const char *>> &paper)
+constexpr std::size_t kWarm = 2500;
+constexpr std::size_t kRequests = 2500;
+
+std::vector<bench::SystemSpec>
+lineupFor(const baselines::PresetParams &params)
 {
-    constexpr std::size_t kWarm = 2500;
-    constexpr std::size_t kRequests = 2500;
-
-    baselines::PresetParams params;
-    params.numWorkers = 4;
-    params.cacheCapacity = 2500;
-    params.keepOutputs = true;
-
-    std::vector<bench::SystemSpec> lineup = {
+    return {
         {"Vanilla (SD3.5L)",
          baselines::vanilla(diffusion::sd35Large(), params)},
         {"SDXL", baselines::standalone(diffusion::sdxl(), params)},
@@ -45,17 +39,42 @@ runDataset(bench::Dataset dataset,
         {"MoDM-SANA", baselines::modm(diffusion::sd35Large(),
                                       diffusion::sana(), params)},
     };
+}
 
-    eval::MetricSuite metrics;
+void
+runDataset(bench::Dataset dataset,
+           const std::vector<std::vector<const char *>> &paper)
+{
+    baselines::PresetParams params;
+    params.numWorkers = 4;
+    params.cacheCapacity = 2500;
+    params.keepOutputs = true;
+
+    const auto lineup = lineupFor(params);
+    std::vector<std::function<eval::QualityReport()>> cells;
+    std::vector<std::string> labels;
+    for (const auto &spec : lineup) {
+        labels.push_back(spec.name);
+        cells.push_back([config = spec.config, dataset] {
+            const auto bundle =
+                bench::batchBundle(dataset, kWarm, kRequests);
+            const auto result = bench::runSystem(config, bundle);
+            const auto reference = bench::referenceImages(
+                result.prompts, diffusion::sd35Large());
+            eval::MetricSuite metrics;
+            return metrics.report(result.prompts, result.images,
+                                  reference);
+        });
+    }
+    bench::SweepOptions options;
+    options.title = std::string("Table 2 ") + bench::datasetName(dataset);
+    const auto reports =
+        bench::runCells(std::move(cells), options, labels);
+
     Table t({"baseline", "CLIP", "FID", "IS", "Pick", "paper CLIP",
              "paper FID"});
     for (std::size_t i = 0; i < lineup.size(); ++i) {
-        const auto bundle = bench::batchBundle(dataset, kWarm, kRequests);
-        const auto result = bench::runSystem(lineup[i].config, bundle);
-        const auto reference =
-            bench::referenceImages(result.prompts, diffusion::sd35Large());
-        const auto q =
-            metrics.report(result.prompts, result.images, reference);
+        const auto &q = reports[i];
         t.addRow({lineup[i].name, Table::fmt(q.clip), Table::fmt(q.fid),
                   Table::fmt(q.is), Table::fmt(q.pick), paper[i][0],
                   paper[i][1]});

@@ -7,7 +7,7 @@
 
 #include <cstdio>
 
-#include "bench/harness.hh"
+#include "bench/sweep.hh"
 
 using namespace modm;
 
@@ -41,17 +41,30 @@ main()
         {"28.08", "24.37"}, {"26.01", "9.07"}, {"24.37", "19.41"},
         {"28.41", "10.74"}, {"27.59", "16.84"}};
 
-    eval::MetricSuite metrics;
+    std::vector<std::function<eval::QualityReport()>> cells;
+    std::vector<std::string> labels;
+    for (const auto &spec : lineup) {
+        labels.push_back(spec.name);
+        cells.push_back([config = spec.config] {
+            const auto bundle = bench::batchBundle(
+                bench::Dataset::DiffusionDB, kWarm, kRequests);
+            const auto result = bench::runSystem(config, bundle);
+            const auto reference = bench::referenceImages(
+                result.prompts, diffusion::flux1Dev());
+            eval::MetricSuite metrics;
+            return metrics.report(result.prompts, result.images,
+                                  reference);
+        });
+    }
+    bench::SweepOptions options;
+    options.title = "Table 3";
+    const auto reports =
+        bench::runCells(std::move(cells), options, labels);
+
     Table t({"baseline", "CLIP", "FID", "IS", "Pick", "paper CLIP",
              "paper FID"});
     for (std::size_t i = 0; i < lineup.size(); ++i) {
-        const auto bundle = bench::batchBundle(
-            bench::Dataset::DiffusionDB, kWarm, kRequests);
-        const auto result = bench::runSystem(lineup[i].config, bundle);
-        const auto reference =
-            bench::referenceImages(result.prompts, diffusion::flux1Dev());
-        const auto q =
-            metrics.report(result.prompts, result.images, reference);
+        const auto &q = reports[i];
         t.addRow({lineup[i].name, Table::fmt(q.clip), Table::fmt(q.fid),
                   Table::fmt(q.is), Table::fmt(q.pick), paper[i][0],
                   paper[i][1]});

@@ -5,16 +5,15 @@
  * Uses the library's cache substrate directly (no cluster) to compare
  * FIFO / LRU / Utility eviction and cache-all vs cache-large-only
  * admission on both workload families — the operational decisions
- * behind the paper's §5.4 and Fig. 9.
+ * behind the paper's §5.4 and Fig. 9. The 12 dataset × policy ×
+ * admission combinations run as one concurrent sweep.
  */
 
 #include <cstdio>
 
+#include "bench/sweep.hh"
 #include "src/cache/image_cache.hh"
-#include "src/common/table.hh"
-#include "src/diffusion/sampler.hh"
 #include "src/serving/k_decision.hh"
-#include "src/workload/generator.hh"
 
 using namespace modm;
 
@@ -22,14 +21,16 @@ namespace {
 
 struct StudyResult
 {
-    double hitRate;
-    double meanK;
+    double hitRate = 0.0;
+    double meanK = 0.0;
 };
 
 StudyResult
-study(workload::TraceGenerator &gen, cache::EvictionPolicy policy,
-      bool cache_all, std::size_t requests)
+study(bool diffusion_db, cache::EvictionPolicy policy, bool cache_all,
+      std::size_t requests)
 {
+    auto gen = diffusion_db ? workload::makeDiffusionDB(3)
+                            : workload::makeMJHQ(3);
     diffusion::Sampler sampler(7);
     cache::ImageCache cache(1500, policy);
     embedding::TextEncoder text;
@@ -38,7 +39,7 @@ study(workload::TraceGenerator &gen, cache::EvictionPolicy policy,
     std::size_t hits = 0;
     double kSum = 0.0;
     for (std::size_t i = 0; i < requests; ++i) {
-        const auto p = gen.next();
+        const auto p = gen->next();
         const auto te =
             text.encode(p.visualConcept, p.lexicalStyle, p.text);
         const auto r = cache.retrieve(te);
@@ -68,23 +69,47 @@ int
 main()
 {
     constexpr std::size_t kRequests = 8000;
-    Table t({"dataset", "policy", "admission", "hit rate", "mean k"});
-    for (const bool diffusionDb : {true, false}) {
+
+    // Declare the dataset × policy × admission grid...
+    struct Combo
+    {
+        bool diffusionDb;
+        cache::EvictionPolicy policy;
+        bool cacheAll;
+    };
+    std::vector<Combo> combos;
+    for (const bool diffusionDb : {true, false})
         for (auto policy : {cache::EvictionPolicy::FIFO,
                             cache::EvictionPolicy::LRU,
-                            cache::EvictionPolicy::Utility}) {
-            for (const bool cacheAll : {true, false}) {
-                auto gen = diffusionDb ? workload::makeDiffusionDB(3)
-                                       : workload::makeMJHQ(3);
-                const auto r =
-                    study(*gen, policy, cacheAll, kRequests);
-                t.addRow({diffusionDb ? "DiffusionDB" : "MJHQ",
-                          cache::policyName(policy),
-                          cacheAll ? "cache-all" : "cache-large",
-                          Table::fmt(r.hitRate, 3),
-                          Table::fmt(r.meanK, 1)});
-            }
-        }
+                            cache::EvictionPolicy::Utility})
+            for (const bool cacheAll : {true, false})
+                combos.push_back({diffusionDb, policy, cacheAll});
+
+    // ...and run every combination concurrently.
+    std::vector<std::function<StudyResult()>> cells;
+    std::vector<std::string> labels;
+    for (const auto &combo : combos) {
+        labels.push_back(
+            std::string(combo.diffusionDb ? "DiffusionDB" : "MJHQ") +
+            "/" + cache::policyName(combo.policy) +
+            (combo.cacheAll ? "/cache-all" : "/cache-large"));
+        cells.push_back([combo] {
+            return study(combo.diffusionDb, combo.policy, combo.cacheAll,
+                         kRequests);
+        });
+    }
+    bench::SweepOptions options;
+    options.title = "Cache policy study";
+    const auto results =
+        bench::runCells(std::move(cells), options, labels);
+
+    Table t({"dataset", "policy", "admission", "hit rate", "mean k"});
+    for (std::size_t i = 0; i < combos.size(); ++i) {
+        t.addRow({combos[i].diffusionDb ? "DiffusionDB" : "MJHQ",
+                  cache::policyName(combos[i].policy),
+                  combos[i].cacheAll ? "cache-all" : "cache-large",
+                  Table::fmt(results[i].hitRate, 3),
+                  Table::fmt(results[i].meanK, 1)});
     }
     t.print("Cache policy / admission study (capacity 1500, 8000 "
             "requests)");

@@ -5,16 +5,14 @@
  * A provider choosing a deployment configuration wants the menu of
  * (throughput, quality) points reachable by pairing a large model with
  * different small models, admission policies, and hit thresholds —
- * the paper's Fig. 14 exercise, exposed as an API walkthrough.
+ * the paper's Fig. 14 exercise, exposed as an API walkthrough. Every
+ * configuration evaluates in its own concurrent sweep cell (serving
+ * run + reference generations + FID/CLIP).
  */
 
 #include <cstdio>
 
-#include "src/baselines/presets.hh"
-#include "src/common/table.hh"
-#include "src/eval/metrics.hh"
-#include "src/serving/system.hh"
-#include "src/workload/trace.hh"
+#include "bench/sweep.hh"
 
 using namespace modm;
 
@@ -23,9 +21,9 @@ namespace {
 struct Point
 {
     std::string name;
-    double throughput;
-    double fid;
-    double clip;
+    double throughput = 0.0;
+    double fid = 0.0;
+    double clip = 0.0;
 };
 
 Point
@@ -63,20 +61,32 @@ main()
     params.cacheCapacity = 1500;
     const auto large = diffusion::sd35Large();
 
-    std::vector<Point> points;
-    points.push_back(
-        evaluate("Vanilla", baselines::vanilla(large, params)));
+    // Declare the configuration menu, then evaluate it as one sweep.
+    std::vector<std::pair<std::string, serving::ServingConfig>> menu;
+    menu.emplace_back("Vanilla", baselines::vanilla(large, params));
     for (const auto &small :
          {diffusion::sdxl(), diffusion::sana(),
           diffusion::sd35LargeTurbo()}) {
-        points.push_back(evaluate("MoDM-" + small.name,
-                                  baselines::modm(large, small, params)));
+        menu.emplace_back("MoDM-" + small.name,
+                          baselines::modm(large, small, params));
         auto strict = baselines::modm(large, small, params);
         for (auto &floor : strict.kDecision.floors)
             floor += 0.01;
-        points.push_back(evaluate("MoDM-" + small.name + "-strict",
-                                  strict));
+        menu.emplace_back("MoDM-" + small.name + "-strict", strict);
     }
+
+    std::vector<std::function<Point()>> cells;
+    std::vector<std::string> labels;
+    for (const auto &[name, config] : menu) {
+        labels.push_back(name);
+        cells.push_back([name = name, config = config] {
+            return evaluate(name, config);
+        });
+    }
+    bench::SweepOptions options;
+    options.title = "Pareto explorer";
+    const auto points =
+        bench::runCells(std::move(cells), options, labels);
 
     Table t({"configuration", "throughput/min", "FID", "CLIP",
              "on frontier?"});

@@ -1,40 +1,24 @@
 /**
  * @file
- * Quickstart: build a DiffusionDB-like workload, warm MoDM's image
- * cache, serve a trace with MoDM and with the Vanilla baseline, and
- * print the headline comparison (throughput, hit rate, p99 latency,
- * image quality). This is the 60-second tour of the public API.
+ * Quickstart: declare a two-system sweep (MoDM vs the Vanilla
+ * baseline) over a DiffusionDB-like workload, run both experiments
+ * concurrently with runSweep, and print the headline comparison
+ * (throughput, hit rate, p99 latency, image quality). This is the
+ * 60-second tour of the public API.
  */
 
 #include <cstdio>
 
-#include "src/baselines/presets.hh"
-#include "src/common/table.hh"
-#include "src/eval/metrics.hh"
-#include "src/serving/system.hh"
-#include "src/workload/trace.hh"
+#include "bench/sweep.hh"
 
 int
 main()
 {
     using namespace modm;
 
-    // 1. Workload: a production-like prompt stream with Poisson
-    //    arrivals at 8 requests/minute.
-    const std::uint64_t seed = 42;
-    auto generator = workload::makeDiffusionDB(seed);
-    workload::PoissonArrivals arrivals(8.0);
-    Rng rng(seed);
-
-    // Warm-up prompts populate the cache; the trace is then served.
-    std::vector<workload::Prompt> warm;
-    for (int i = 0; i < 2000; ++i)
-        warm.push_back(generator->next());
-    const auto trace = workload::buildTrace(*generator, arrivals, 2000,
-                                            rng);
-
-    // 2. Systems: MoDM (SD3.5L large + SDXL small) vs Vanilla (SD3.5L
+    // 1. Systems: MoDM (SD3.5L large + SDXL small) vs Vanilla (SD3.5L
     //    only) on four A40 GPUs.
+    const std::uint64_t seed = 42;
     baselines::PresetParams params;
     params.numWorkers = 4;
     params.gpu = diffusion::GpuKind::A40;
@@ -47,15 +31,43 @@ main()
     // Shard cache-retrieval scans across every core; sharding is exact,
     // so results match the serial default bit-for-bit.
     modmConfig.retrievalParallelism = 0;
-    serving::ServingSystem modmSystem(modmConfig);
-    modmSystem.warmCache(warm);
-    const auto modmResult = modmSystem.run(trace);
 
-    serving::ServingSystem vanillaSystem(
-        baselines::vanilla(diffusion::sd35Large(), params));
-    const auto vanillaResult = vanillaSystem.run(trace);
+    // 2. Workload: a production-like prompt stream with Poisson
+    //    arrivals at 8 requests/minute. Each experiment builds its own
+    //    bundle inside its sweep cell (share-nothing), and the seeded
+    //    generators make every rebuild identical.
+    const auto workloadAt = [seed](std::size_t warmCount) {
+        return [seed, warmCount] {
+            bench::WorkloadBundle bundle;
+            bundle.dataset = "DiffusionDB";
+            auto generator = workload::makeDiffusionDB(seed);
+            for (std::size_t i = 0; i < warmCount; ++i)
+                bundle.warm.push_back(generator->next());
+            // The trace continues the stream after the 2000 warm
+            // prompts so both systems serve the same 2000 requests.
+            auto traceGen = workload::makeDiffusionDB(seed);
+            for (int i = 0; i < 2000; ++i)
+                traceGen->next();
+            workload::PoissonArrivals arrivals(8.0);
+            Rng rng(seed);
+            bundle.trace = workload::buildTrace(*traceGen, arrivals,
+                                                2000, rng);
+            return bundle;
+        };
+    };
 
-    // 3. Quality: score both systems' outputs against reference
+    // 3. Declare and run the sweep: two cells, executed concurrently.
+    bench::SweepSpec spec;
+    spec.options.title = "quickstart";
+    spec.add("MoDM-SDXL", modmConfig, workloadAt(2000));
+    spec.add("Vanilla",
+             baselines::vanilla(diffusion::sd35Large(), params),
+             workloadAt(0)); // no cache to warm
+    const auto results = bench::runSweep(spec);
+    const auto &modmResult = results[0];
+    const auto &vanillaResult = results[1];
+
+    // 4. Quality: score both systems' outputs against reference
     //    generations from the large model.
     eval::MetricSuite metrics;
     diffusion::Sampler reference(seed ^ 0x5ef123ULL);
@@ -69,7 +81,7 @@ main()
     const auto vanillaQuality = metrics.report(
         vanillaResult.prompts, vanillaResult.images, referenceImages);
 
-    // 4. Report.
+    // 5. Report.
     const double sloThreshold =
         2.0 * diffusion::sd35Large().fullLatency(params.gpu);
     Table table({"system", "throughput/min", "hit rate", "mean k",

@@ -4,37 +4,39 @@
  *
  * A service owner wants to know the highest request rate a fixed
  * cluster can sustain while keeping p99 latency within 2x of a single
- * large-model inference. This example sweeps demand for Vanilla and
- * MoDM on the same hardware and reports the supported load — the
+ * large-model inference. This example declares a rate × system sweep,
+ * runs every point concurrently, and reports the supported load — the
  * decision the paper's Figs. 12/16 inform.
  */
 
 #include <cstdio>
 
-#include "src/baselines/presets.hh"
-#include "src/common/table.hh"
-#include "src/serving/system.hh"
-#include "src/workload/trace.hh"
+#include "bench/sweep.hh"
 
 using namespace modm;
 
 namespace {
 
-serving::ServingResult
-serveAtRate(const serving::ServingConfig &config, double rate)
+/** Bundle at a given rate; Vanilla has no cache, so no warm prompts. */
+std::function<bench::WorkloadBundle()>
+bundleAt(double rate, bool warm)
 {
-    auto gen = workload::makeDiffusionDB(2026);
-    std::vector<workload::Prompt> warm;
-    for (int i = 0; i < 2000; ++i)
-        warm.push_back(gen->next());
-    workload::PoissonArrivals arrivals(rate);
-    Rng rng(7);
-    const auto trace = workload::buildTrace(*gen, arrivals, 800, rng);
-
-    serving::ServingSystem system(config);
-    if (config.kind != serving::SystemKind::Vanilla)
-        system.warmCache(warm);
-    return system.run(trace);
+    return [rate, warm] {
+        bench::WorkloadBundle bundle;
+        bundle.dataset = "DiffusionDB";
+        auto gen = workload::makeDiffusionDB(2026);
+        if (warm) {
+            for (int i = 0; i < 2000; ++i)
+                bundle.warm.push_back(gen->next());
+        } else {
+            for (int i = 0; i < 2000; ++i)
+                gen->next(); // identical request stream either way
+        }
+        workload::PoissonArrivals arrivals(rate);
+        Rng rng(7);
+        bundle.trace = workload::buildTrace(*gen, arrivals, 800, rng);
+        return bundle;
+    };
 }
 
 } // namespace
@@ -52,6 +54,24 @@ main()
     std::printf("SLO: latency <= %.0f s (2x one SD3.5L inference)\n",
                 slo);
 
+    std::vector<double> rates;
+    for (double rate = 2.0; rate <= 11.0; rate += 1.0)
+        rates.push_back(rate);
+
+    bench::SweepSpec spec;
+    spec.options.title = "SLO study";
+    for (const double rate : rates) {
+        spec.add("Vanilla@" + Table::fmt(rate, 0),
+                 baselines::vanilla(diffusion::sd35Large(), params),
+                 bundleAt(rate, /*warm=*/false));
+        spec.add("MoDM@" + Table::fmt(rate, 0),
+                 baselines::modmMulti(
+                     diffusion::sd35Large(),
+                     {diffusion::sdxl(), diffusion::sana()}, params),
+                 bundleAt(rate, /*warm=*/true));
+    }
+    const auto results = bench::runSweep(spec);
+
     // Attainment criterion: at most 5 % of requests may exceed the
     // SLO latency (the paper's violation-rate measure, Figs. 12/13).
     constexpr double kBudget = 0.05;
@@ -59,16 +79,12 @@ main()
              "MoDM ok?"});
     // Largest rate with an unbroken compliant prefix from 1/min.
     double vanillaMax = 1.0, modmMax = 1.0;
-    for (double rate = 2.0; rate <= 11.0; rate += 1.0) {
-        const auto vanilla = serveAtRate(
-            baselines::vanilla(diffusion::sd35Large(), params), rate);
-        const auto modm = serveAtRate(
-            baselines::modmMulti(diffusion::sd35Large(),
-                                 {diffusion::sdxl(), diffusion::sana()},
-                                 params),
-            rate);
-        const double vv = vanilla.metrics.sloViolationRate(slo);
-        const double mv = modm.metrics.sloViolationRate(slo);
+    for (std::size_t r = 0; r < rates.size(); ++r) {
+        const double rate = rates[r];
+        const double vv =
+            results[r * 2].metrics.sloViolationRate(slo);
+        const double mv =
+            results[r * 2 + 1].metrics.sloViolationRate(slo);
         if (vv <= kBudget && vanillaMax == rate - 1.0)
             vanillaMax = rate;
         if (mv <= kBudget && modmMax == rate - 1.0)

@@ -30,6 +30,15 @@ ImageCache::ImageCache(std::size_t capacity, EvictionPolicy policy,
 }
 
 void
+ImageCache::reserve(std::size_t expected)
+{
+    const std::size_t n = std::min(expected, capacity_);
+    entries_.reserve(n);
+    lruPos_.reserve(n);
+    index_.reserve(n);
+}
+
+void
 ImageCache::insert(const diffusion::Image &image, double now)
 {
     MODM_ASSERT(!entries_.count(image.id),
@@ -142,8 +151,10 @@ ImageCache::evictOne()
     std::uint64_t victim = 0;
     switch (policy_) {
       case EvictionPolicy::FIFO:
-        while (!fifo_.empty() && !entries_.count(fifo_.front()))
+        while (!fifo_.empty() && !entries_.count(fifo_.front())) {
             fifo_.pop_front();
+            --staleFifo_;
+        }
         MODM_ASSERT(!fifo_.empty(), "FIFO bookkeeping out of sync");
         victim = fifo_.front();
         break;
@@ -171,11 +182,42 @@ ImageCache::erase(std::uint64_t id)
         lruOrder_.erase(pos->second);
         lruPos_.erase(pos);
     }
-    if (!fifo_.empty() && fifo_.front() == id)
+    if (!fifo_.empty() && fifo_.front() == id) {
         fifo_.pop_front();
-    // Otherwise leave the stale id in fifo_; eviction paths skip ids
-    // that are no longer present (lazy deletion keeps erase O(1)).
+        // The erased front may expose stale slots behind it.
+        while (!fifo_.empty() && !entries_.count(fifo_.front())) {
+            fifo_.pop_front();
+            --staleFifo_;
+        }
+    } else {
+        // Mid-deque erase (LRU/Utility victims): leave the stale id in
+        // fifo_ — eviction paths skip absent ids, and compactFifo()
+        // keeps the stale population bounded. Lazy deletion keeps
+        // erase O(1) amortized.
+        ++staleFifo_;
+    }
     entries_.erase(it);
+    compactFifo();
+}
+
+void
+ImageCache::compactFifo()
+{
+    // Compact once stale slots outnumber live ones: each rebuild is
+    // O(fifo) but is triggered only after at least fifo/2 mid-deque
+    // erases, so the amortized cost per erase is O(1) and fifo_ never
+    // exceeds ~2x the live entry count — previously Utility (and LRU)
+    // eviction leaked stale ids unboundedly on long traces.
+    if (staleFifo_ * 2 <= fifo_.size() || fifo_.empty())
+        return;
+    std::deque<std::uint64_t> live;
+    for (const std::uint64_t id : fifo_) {
+        if (entries_.count(id))
+            live.push_back(id);
+    }
+    fifo_.swap(live);
+    staleFifo_ = 0;
+    ++stats_.fifoCompactions;
 }
 
 void
@@ -186,6 +228,7 @@ ImageCache::clear()
     fifo_.clear();
     lruOrder_.clear();
     lruPos_.clear();
+    staleFifo_ = 0;
     storedBytes_ = 0.0;
 }
 

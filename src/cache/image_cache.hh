@@ -72,6 +72,8 @@ struct ImageCacheStats
     std::uint64_t evictions = 0;
     std::uint64_t lookups = 0;
     std::uint64_t hitsRecorded = 0;
+    /** Times the FIFO deque was compacted to drop stale slots. */
+    std::uint64_t fifoCompactions = 0;
 };
 
 /**
@@ -90,6 +92,14 @@ class ImageCache
     ImageCache(std::size_t capacity, EvictionPolicy policy,
                embedding::ImageEncoderConfig encoder_config = {},
                std::uint64_t seed = 1);
+
+    /**
+     * Pre-size the entry map, retrieval index, and LRU bookkeeping for
+     * `expected` entries (clamped to capacity). Called before warm-up
+     * so bulk insertion pays neither repeated embedding-row
+     * reallocation nor hash rehashing.
+     */
+    void reserve(std::size_t expected);
 
     /**
      * Insert an image at simulated time `now`, embedding it with the
@@ -135,6 +145,23 @@ class ImageCache
         index_.setParallelism(threads);
     }
 
+    /**
+     * Minimum index size before retrieval scans shard (forwarded to
+     * the embedding index); lower it to engage sharding on small
+     * caches.
+     */
+    void setRetrievalParallelThreshold(std::size_t rows)
+    {
+        index_.setParallelThreshold(rows);
+    }
+
+    /**
+     * Slots currently held by the FIFO deque, live + stale. Bounded at
+     * roughly twice the live entry count by opportunistic compaction
+     * (exposed so tests can pin the bound).
+     */
+    std::size_t fifoSlots() const { return fifo_.size(); }
+
     /** Remove everything. */
     void clear();
 
@@ -142,6 +169,8 @@ class ImageCache
     void evictOne();
     std::uint64_t pickUtilityVictim();
     void erase(std::uint64_t id);
+    /** Drop stale fifo slots once they outnumber live ones. */
+    void compactFifo();
 
     std::size_t capacity_;
     EvictionPolicy policy_;
@@ -154,6 +183,7 @@ class ImageCache
     std::list<std::uint64_t> lruOrder_;       // front = least recent
     std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator>
         lruPos_;
+    std::size_t staleFifo_ = 0; // fifo_ ids no longer in entries_
     double storedBytes_ = 0.0;
     ImageCacheStats stats_;
 };

@@ -22,6 +22,14 @@ LatentCache::LatentCache(std::size_t capacity, std::string model_name,
 }
 
 void
+LatentCache::reserve(std::size_t expected)
+{
+    const std::size_t n = std::min(expected, capacity_);
+    entries_.reserve(n);
+    index_.reserve(n);
+}
+
+void
 LatentCache::insert(const diffusion::Image &image,
                     const embedding::Embedding &text_embedding, double now)
 {
@@ -107,8 +115,10 @@ LatentCache::evictOne()
         }
     }
     if (first) {
-        while (!order_.empty() && !entries_.count(order_.front()))
+        while (!order_.empty() && !entries_.count(order_.front())) {
             order_.pop_front();
+            --staleOrder_;
+        }
         MODM_ASSERT(!order_.empty(), "latent cache bookkeeping out of sync");
         victim = order_.front();
     }
@@ -119,6 +129,29 @@ LatentCache::evictOne()
     entries_.erase(it);
     if (!order_.empty() && order_.front() == victim)
         order_.pop_front();
+    else
+        ++staleOrder_;
+    compactOrder();
+}
+
+void
+LatentCache::compactOrder()
+{
+    // Same lazy-deletion bound as ImageCache::compactFifo: rebuild the
+    // insertion-order deque once stale slots outnumber live ones, so
+    // utility eviction cannot grow order_ without bound on long
+    // traces. Each O(order) rebuild follows at least order/2 mid-deque
+    // erases — O(1) amortized.
+    if (staleOrder_ * 2 <= order_.size() || order_.empty())
+        return;
+    std::deque<std::uint64_t> live;
+    for (const std::uint64_t id : order_) {
+        if (entries_.count(id))
+            live.push_back(id);
+    }
+    order_.swap(live);
+    staleOrder_ = 0;
+    ++orderCompactions_;
 }
 
 } // namespace modm::cache

@@ -93,6 +93,12 @@ class LatentCache
                 std::uint64_t seed = 1);
 
     /**
+     * Pre-size the entry map and retrieval index for `expected`
+     * entries (clamped to capacity); used before warm-up bulk loads.
+     */
+    void reserve(std::size_t expected);
+
+    /**
      * Cache the latents of a finished generation. Images from other
      * models are rejected (model dependence) and counted.
      */
@@ -120,6 +126,16 @@ class LatentCache
     /** Number of inserts rejected due to model mismatch. */
     std::uint64_t rejectedInserts() const { return rejectedInserts_; }
 
+    /**
+     * Slots held by the insertion-order deque, live + stale; bounded
+     * at roughly twice the live entry count by compaction (exposed so
+     * tests can pin the bound).
+     */
+    std::size_t orderSlots() const { return order_.size(); }
+
+    /** Times the insertion-order deque was compacted. */
+    std::uint64_t orderCompactions() const { return orderCompactions_; }
+
     /** The threshold table in use. */
     const NirvanaThresholds &thresholds() const { return thresholds_; }
 
@@ -134,6 +150,8 @@ class LatentCache
 
   private:
     void evictOne();
+    /** Drop stale order slots once they outnumber live ones. */
+    void compactOrder();
 
     std::size_t capacity_;
     std::string modelName_;
@@ -143,6 +161,8 @@ class LatentCache
     std::unordered_map<std::uint64_t, LatentEntry> entries_;
     embedding::CosineIndex index_;
     std::deque<std::uint64_t> order_;
+    std::size_t staleOrder_ = 0; // order_ ids no longer in entries_
+    std::uint64_t orderCompactions_ = 0;
     double storedBytes_ = 0.0;
     std::uint64_t rejectedInserts_ = 0;
 };

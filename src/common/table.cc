@@ -87,10 +87,16 @@ Table::toCsv() const
     return out.str();
 }
 
+std::string
+Table::render(const std::string &title) const
+{
+    return "\n== " + title + " ==\n" + toString();
+}
+
 void
 Table::print(const std::string &title) const
 {
-    std::printf("\n== %s ==\n%s", title.c_str(), toString().c_str());
+    std::fputs(render(title).c_str(), stdout);
     std::fflush(stdout);
 }
 

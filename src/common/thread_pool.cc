@@ -23,6 +23,69 @@ ThreadPool::~ThreadPool()
 }
 
 void
+ThreadPool::submit(TaskGroup *group, std::function<void()> fn)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++group->pending_;
+        queue_.push_back(Task{group, std::move(fn)});
+    }
+    wake_.notify_one();
+    // A waiter of this group may be asleep in groupDone_ (its other
+    // tasks are running on workers); wake it so it helps with the new
+    // task instead of idling.
+    groupDone_.notify_all();
+}
+
+void
+ThreadPool::runTask(std::unique_lock<std::mutex> &lock, Task task)
+{
+    lock.unlock();
+    task.fn();
+    task.fn = nullptr; // release captures before re-locking
+    lock.lock();
+    if (--task.group->pending_ == 0)
+        groupDone_.notify_all();
+}
+
+void
+ThreadPool::waitGroup(TaskGroup *group)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (group->pending_ > 0) {
+        // Help with our own group's queued tasks first: progress then
+        // never depends on a free worker, which is what makes nested
+        // groups (a task waiting on sub-tasks) deadlock-free.
+        auto it = std::find_if(queue_.begin(), queue_.end(),
+                               [group](const Task &t) {
+                                   return t.group == group;
+                               });
+        if (it != queue_.end()) {
+            Task task = std::move(*it);
+            queue_.erase(it);
+            runTask(lock, std::move(task));
+            continue;
+        }
+        // Everything left of ours is running on workers.
+        groupDone_.wait(lock);
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (stopping_)
+            return;
+        Task task = std::move(queue_.front());
+        queue_.pop_front();
+        runTask(lock, std::move(task));
+    }
+}
+
+void
 ThreadPool::parallelFor(std::size_t shardCount,
                         const std::function<void(std::size_t)> &fn)
 {
@@ -33,55 +96,11 @@ ThreadPool::parallelFor(std::size_t shardCount,
             fn(shard);
         return;
     }
-
-    // One job at a time: a second submitter must not overwrite the
-    // shared shard counters while the first job is mid-flight.
-    std::lock_guard<std::mutex> submitLock(submitMutex_);
-    std::unique_lock<std::mutex> lock(mutex_);
-    job_ = &fn;
-    nextShard_ = 0;
-    shardCount_ = shardCount;
-    pendingShards_ = shardCount;
-    ++generation_;
-    wake_.notify_all();
-
-    // The caller is shard runner number zero: it pulls work like any
-    // other thread so a pool under contention still makes progress.
-    while (nextShard_ < shardCount_) {
-        const std::size_t shard = nextShard_++;
-        lock.unlock();
-        fn(shard);
-        lock.lock();
-        --pendingShards_;
-    }
-    done_.wait(lock, [this] { return pendingShards_ == 0; });
-    job_ = nullptr;
-}
-
-void
-ThreadPool::workerLoop()
-{
-    std::uint64_t seenGeneration = 0;
-    std::unique_lock<std::mutex> lock(mutex_);
-    for (;;) {
-        wake_.wait(lock, [&] {
-            return stopping_ ||
-                   (job_ != nullptr && generation_ != seenGeneration &&
-                    nextShard_ < shardCount_);
-        });
-        if (stopping_)
-            return;
-        seenGeneration = generation_;
-        while (job_ != nullptr && nextShard_ < shardCount_) {
-            const std::size_t shard = nextShard_++;
-            const auto *fn = job_;
-            lock.unlock();
-            (*fn)(shard);
-            lock.lock();
-            if (--pendingShards_ == 0)
-                done_.notify_all();
-        }
-    }
+    TaskGroup group(*this);
+    for (std::size_t shard = 1; shard < shardCount; ++shard)
+        group.submit([&fn, shard] { fn(shard); });
+    fn(0);
+    group.wait();
 }
 
 ThreadPool &

@@ -38,6 +38,14 @@ CosineIndex::CosineIndex(std::size_t dim)
 }
 
 void
+CosineIndex::reserve(std::size_t rows)
+{
+    rows_.reserve(rows * dim_);
+    ids_.reserve(rows);
+    slotOf_.reserve(rows);
+}
+
+void
 CosineIndex::insert(std::uint64_t id, const Embedding &embedding)
 {
     MODM_ASSERT(embedding.dim() == dim_,

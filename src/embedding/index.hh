@@ -52,6 +52,14 @@ class CosineIndex
     /** Create an index for embeddings of the given dimensionality. */
     explicit CosineIndex(std::size_t dim = kEmbeddingDim);
 
+    /**
+     * Pre-allocate room for `rows` embeddings: one contiguous
+     * reservation of the row storage plus hash-map capacity, so bulk
+     * insertion (cache warm-up) avoids repeated rows_ reallocation and
+     * slotOf_ rehash churn.
+     */
+    void reserve(std::size_t rows);
+
     /** Insert an embedding under a fresh id; ids must be unique. */
     void insert(std::uint64_t id, const Embedding &embedding);
 

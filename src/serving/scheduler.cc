@@ -128,6 +128,15 @@ RequestScheduler::classify(const workload::Request &request, double now)
 }
 
 void
+RequestScheduler::reserveCache(std::size_t expected)
+{
+    if (imageCache_)
+        imageCache_->reserve(expected);
+    if (latentCache_)
+        latentCache_->reserve(expected);
+}
+
+void
 RequestScheduler::admitGenerated(const diffusion::Image &image,
                                  const embedding::Embedding &text_embedding,
                                  bool from_miss, double now)

@@ -74,6 +74,13 @@ class RequestScheduler
     ClassifiedJob classify(const workload::Request &request, double now);
 
     /**
+     * Pre-size the system's cache (image or latent) for an expected
+     * number of entries — the warm-up phase calls this so bulk
+     * admission avoids index reallocation and rehash churn.
+     */
+    void reserveCache(std::size_t expected);
+
+    /**
      * Admit a finished generation to the cache per the system's
      * admission policy.
      *

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cmath>
+#include <cstdio>
+#include <cstring>
 
 #include "src/common/log.hh"
+#include "src/common/rng.hh"
 
 namespace modm::serving {
 
@@ -27,6 +29,51 @@ makeMonitorConfig(const ServingConfig &config)
 }
 
 } // namespace
+
+std::string
+resultDigest(const ServingResult &result)
+{
+    std::string out;
+    out.reserve(result.metrics.count() * 96 + 512);
+    char buf[256];
+    const auto emit = [&out, &buf](const char *fmt, auto... args) {
+        std::snprintf(buf, sizeof(buf), fmt, args...);
+        out += buf;
+    };
+
+    emit("n=%zu dur=%a tput=%a hit=%a energy=%a switches=%llu "
+         "cacheSize=%zu cacheBytes=%a\n",
+         result.metrics.count(), result.duration,
+         result.throughputPerMin, result.hitRate, result.energyJ,
+         static_cast<unsigned long long>(result.modelSwitches),
+         result.cacheSize, result.cacheBytes);
+    for (const auto &r : result.metrics.records()) {
+        emit("r %llu %a %a %a %d %d %a %d %s\n",
+             static_cast<unsigned long long>(r.promptId), r.arrival,
+             r.start, r.finish, r.cacheHit ? 1 : 0, r.k, r.similarity,
+             static_cast<int>(r.kind), r.servedBy.c_str());
+    }
+    for (const auto &a : result.allocations)
+        emit("a %a %d %zu\n", a.time, a.numLarge, a.smallModelIndex);
+    for (const double age : result.hitAges)
+        emit("h %a\n", age);
+    // Output images fold to a checksum of their content bit patterns.
+    std::uint64_t imageHash = 0xcbf29ce484222325ULL;
+    for (const auto &img : result.images) {
+        imageHash = mix64(imageHash ^ img.id);
+        std::uint64_t fidelityBits = 0;
+        std::memcpy(&fidelityBits, &img.fidelity, sizeof(fidelityBits));
+        imageHash = mix64(imageHash ^ fidelityBits);
+        for (const float f : img.content) {
+            std::uint32_t bits = 0;
+            std::memcpy(&bits, &f, sizeof(bits));
+            imageHash = mix64(imageHash ^ bits);
+        }
+    }
+    emit("outputs=%zu imageHash=%llx\n", result.images.size(),
+         static_cast<unsigned long long>(imageHash));
+    return out;
+}
 
 ServingSystem::ServingSystem(ServingConfig config)
     : config_(std::move(config)),
@@ -70,6 +117,7 @@ void
 ServingSystem::warmCache(const std::vector<workload::Prompt> &prompts)
 {
     MODM_ASSERT(!ran_, "warmCache must precede run()");
+    scheduler_->reserveCache(prompts.size());
     for (const auto &prompt : prompts) {
         const auto image =
             sampler_.generate(config_.largeModel, prompt, 0.0);

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/diffusion/sampler.hh"
@@ -65,6 +66,17 @@ struct ServingResult
     /** Output images (kept when keepOutputs). */
     std::vector<diffusion::Image> images;
 };
+
+/**
+ * Exact textual digest of a ServingResult: every per-request record,
+ * aggregate, allocation snapshot, and output-image checksum rendered
+ * with hex-float (%a) formatting so two results compare bit-identical
+ * iff their digests are string-equal. This is what the serial-vs-
+ * concurrent sweep property test (and the CI determinism diff) pin —
+ * experiments must be reproducible from their config seed alone, no
+ * matter which thread ran them.
+ */
+std::string resultDigest(const ServingResult &result);
 
 /**
  * The serving system.

@@ -251,5 +251,167 @@ INSTANTIATE_TEST_SUITE_P(
                       EvictionPolicy::Utility),
     [](const auto &info) { return policyName(info.param); });
 
+/**
+ * Regression for the Utility-policy fifo leak: mid-deque evictions
+ * used to leave stale ids in the FIFO deque forever, so long traces
+ * grew it without bound. Opportunistic compaction must keep the slot
+ * count within ~2x of the live entries at every step.
+ */
+TEST(ImageCache, UtilityFifoSlotsStayBounded)
+{
+    Rng rng(17);
+    constexpr std::size_t kCapacity = 100;
+    ImageCache cache(kCapacity, EvictionPolicy::Utility);
+    embedding::ImageEncoder enc;
+    for (std::uint64_t i = 1; i <= 5000; ++i) {
+        cache.insert(makeImage(i, rng), static_cast<double>(i));
+        if (i % 3 == 0) {
+            const auto q = enc.encode(
+                randomUnitVec(embedding::kEmbeddingDim, rng), 1.0,
+                2000000 + i);
+            const auto r = cache.retrieve(q);
+            if (r.found)
+                cache.recordHit(r.entryId, static_cast<double>(i));
+        }
+        ASSERT_LE(cache.fifoSlots(), 2 * kCapacity + 1)
+            << "stale fifo slots accumulating at insert " << i;
+    }
+    EXPECT_EQ(cache.size(), kCapacity);
+    EXPECT_GT(cache.stats().fifoCompactions, 0u);
+}
+
+/** LRU evicts mid-deque too; the same bound must hold. */
+TEST(ImageCache, LruFifoSlotsStayBounded)
+{
+    Rng rng(19);
+    constexpr std::size_t kCapacity = 64;
+    ImageCache cache(kCapacity, EvictionPolicy::LRU);
+    embedding::ImageEncoder enc;
+    for (std::uint64_t i = 1; i <= 3000; ++i) {
+        cache.insert(makeImage(i, rng), static_cast<double>(i));
+        // Hits shuffle LRU order so victims are rarely the fifo front.
+        const auto q = enc.encode(
+            randomUnitVec(embedding::kEmbeddingDim, rng), 1.0,
+            3000000 + i);
+        const auto r = cache.retrieve(q);
+        if (r.found)
+            cache.recordHit(r.entryId, static_cast<double>(i));
+        ASSERT_LE(cache.fifoSlots(), 2 * kCapacity + 1);
+    }
+    EXPECT_EQ(cache.size(), kCapacity);
+}
+
+/**
+ * Eviction on a drained cache is a library bug the guards must catch
+ * loudly rather than corrupt bookkeeping.
+ */
+TEST(ImageCacheDeathTest, ZeroCapacityIsRejected)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(ImageCache(0, EvictionPolicy::FIFO),
+                 "capacity must be positive");
+}
+
+/** recordHit on an evicted (absent) entry must panic, not corrupt. */
+TEST(ImageCacheDeathTest, RecordHitOnAbsentEntryPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Rng rng(23);
+    ImageCache cache(2, EvictionPolicy::LRU);
+    cache.insert(makeImage(1, rng), 0.0);
+    EXPECT_DEATH(cache.recordHit(999, 1.0), "absent entry");
+}
+
+/**
+ * Utility eviction must keep working when the sampled candidates are
+ * dominated by stale fifo slots: a churn-heavy, hit-heavy trace where
+ * victims are mostly mid-deque. After churn the cache must still be
+ * exactly at capacity with consistent retrieval.
+ */
+TEST(ImageCache, UtilityEvictionSkipsStaleSlots)
+{
+    Rng rng(29);
+    ImageCache cache(16, EvictionPolicy::Utility);
+    embedding::ImageEncoder enc;
+    for (std::uint64_t i = 1; i <= 800; ++i) {
+        cache.insert(makeImage(i, rng), static_cast<double>(i));
+        for (int probe = 0; probe < 2; ++probe) {
+            const auto q = enc.encode(
+                randomUnitVec(embedding::kEmbeddingDim, rng), 1.0,
+                4000000 + i * 2 + probe);
+            const auto r = cache.retrieve(q);
+            if (r.found) {
+                ASSERT_TRUE(cache.contains(r.entryId));
+                cache.recordHit(r.entryId, static_cast<double>(i));
+            }
+        }
+    }
+    EXPECT_EQ(cache.size(), 16u);
+    EXPECT_EQ(cache.stats().evictions, 800u - 16u);
+}
+
+/**
+ * The latent cache's insertion-order deque has the same lazy-deletion
+ * design as the image cache's FIFO: utility eviction from the middle
+ * leaves stale ids behind, and compaction must bound them at ~2x the
+ * live entries on long churn-heavy traces.
+ */
+TEST(LatentCache, OrderSlotsStayBoundedUnderUtilityChurn)
+{
+    Rng rng(43);
+    constexpr std::size_t kCapacity = 40;
+    LatentCache cache(kCapacity, "SD3.5L");
+    embedding::TextEncoder text;
+    for (std::uint64_t i = 1; i <= 2000; ++i) {
+        const auto emb = text.encode(randomUnitVec(64, rng),
+                                     randomUnitVec(64, rng), "p");
+        cache.insert(makeImage(i, rng), emb, static_cast<double>(i));
+        // Hit the fresh entry so utilities tie and sampled eviction
+        // picks mid-deque victims, not the front.
+        cache.recordHit(i);
+        ASSERT_LE(cache.orderSlots(), 2 * kCapacity + 1)
+            << "stale order slots accumulating at insert " << i;
+    }
+    EXPECT_EQ(cache.size(), kCapacity);
+    EXPECT_GT(cache.orderCompactions(), 0u);
+}
+
+/**
+ * Eviction interleaved with *parallel* top-k retrieval: a cache using
+ * sharded scans must return bit-identical results to a serial twin fed
+ * the exact same insert/hit/evict sequence, across heavy churn.
+ */
+TEST(ImageCache, EvictionInterleavedWithParallelTopK)
+{
+    constexpr std::size_t kCapacity = 48;
+    Rng rngA(31), rngB(31);
+    ImageCache parallel(kCapacity, EvictionPolicy::Utility);
+    ImageCache serial(kCapacity, EvictionPolicy::Utility);
+    parallel.setRetrievalParallelism(4);
+    parallel.setRetrievalParallelThreshold(0);
+    embedding::ImageEncoder enc;
+    for (std::uint64_t i = 1; i <= 600; ++i) {
+        parallel.insert(makeImage(i, rngA), static_cast<double>(i));
+        serial.insert(makeImage(i, rngB), static_cast<double>(i));
+        const auto q = enc.encode(
+            randomUnitVec(embedding::kEmbeddingDim, rngA), 1.0,
+            5000000 + i);
+        // Advance the twin's rng identically.
+        randomUnitVec(embedding::kEmbeddingDim, rngB);
+        const auto rp = parallel.retrieve(q);
+        const auto rs = serial.retrieve(q);
+        ASSERT_EQ(rp.found, rs.found);
+        if (rp.found) {
+            ASSERT_EQ(rp.entryId, rs.entryId);
+            // Bit-identical: the sharded merge is exact.
+            ASSERT_EQ(rp.similarity, rs.similarity);
+            parallel.recordHit(rp.entryId, static_cast<double>(i));
+            serial.recordHit(rs.entryId, static_cast<double>(i));
+        }
+    }
+    EXPECT_EQ(parallel.size(), serial.size());
+    EXPECT_EQ(parallel.fifoSlots(), serial.fifoSlots());
+}
+
 } // namespace
 } // namespace modm::cache

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Property tests for the concurrent sweep engine: a sweep executed
+ * serially (parallelism=1) and concurrently (parallelism=N) must
+ * produce bit-identical ServingResults for every cell — the
+ * share-nothing guarantee that lets the bench suite fan experiments
+ * out across cores without changing a single reported number.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "bench/sweep.hh"
+#include "src/baselines/presets.hh"
+
+namespace modm::bench {
+namespace {
+
+/**
+ * Scoped MODM_SWEEP_* override so ambient env (e.g. a developer
+ * exporting the knob the way the CI bench steps do) can't leak into
+ * the assertions; prior values are restored on destruction. Pass
+ * nullptr to assert the variable is absent within the scope.
+ */
+class ScopedSweepEnv
+{
+  public:
+    explicit ScopedSweepEnv(const char *parallelism)
+    {
+        save("MODM_SWEEP_PARALLELISM", parallelism);
+        save("MODM_SWEEP_PROGRESS", "0");
+    }
+    ~ScopedSweepEnv()
+    {
+        for (auto it = saved_.rbegin(); it != saved_.rend(); ++it) {
+            if (it->second.second)
+                setenv(it->first.c_str(), it->second.first.c_str(), 1);
+            else
+                unsetenv(it->first.c_str());
+        }
+    }
+
+  private:
+    void save(const char *name, const char *value)
+    {
+        const char *prev = std::getenv(name);
+        saved_.emplace_back(
+            name, std::make_pair(prev ? prev : "", prev != nullptr));
+        if (value)
+            setenv(name, value, 1);
+        else
+            unsetenv(name);
+    }
+
+    std::vector<std::pair<std::string, std::pair<std::string, bool>>>
+        saved_;
+};
+
+/** A small but policy-diverse sweep: every SystemKind plus a monitor
+ *  mode and admission variant, over both workload families. */
+SweepSpec
+makeSpec()
+{
+    baselines::PresetParams params;
+    params.numWorkers = 2;
+    params.cacheCapacity = 150;
+
+    SweepSpec spec;
+    spec.options.title = "property";
+    const auto ddb = [] {
+        return poissonBundle(Dataset::DiffusionDB, 120, 150, 12.0);
+    };
+    const auto mjhq = [] {
+        return batchBundle(Dataset::MJHQ, 120, 150);
+    };
+    spec.add("vanilla", baselines::vanilla(diffusion::sd35Large(), params),
+             ddb);
+    spec.add("nirvana", baselines::nirvana(diffusion::sd35Large(), params),
+             ddb);
+    spec.add("pinecone",
+             baselines::pinecone(diffusion::sd35Large(), params), mjhq);
+    spec.add("modm",
+             baselines::modm(diffusion::sd35Large(), diffusion::sdxl(),
+                             params),
+             ddb);
+    auto quality = baselines::modmMulti(
+        diffusion::sd35Large(), {diffusion::sdxl(), diffusion::sana()},
+        params);
+    quality.mode = serving::MonitorMode::QualityOptimized;
+    quality.keepOutputs = true;
+    spec.add("modm-quality", quality, mjhq);
+    auto cacheLarge = baselines::modm(diffusion::sd35Large(),
+                                      diffusion::sana(), params);
+    cacheLarge.admission = serving::AdmissionPolicy::CacheLargeOnly;
+    cacheLarge.retrievalParallelism = 3; // nested sharded retrieval
+    spec.add("modm-cachelarge", cacheLarge, ddb);
+    return spec;
+}
+
+TEST(Sweep, SerialAndConcurrentResultsAreBitIdentical)
+{
+    std::vector<std::string> serialDigests;
+    {
+        ScopedSweepEnv env("1");
+        const auto results = runSweep(makeSpec());
+        for (const auto &r : results)
+            serialDigests.push_back(serving::resultDigest(r));
+    }
+    {
+        ScopedSweepEnv env("4");
+        const auto results = runSweep(makeSpec());
+        ASSERT_EQ(results.size(), serialDigests.size());
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            EXPECT_EQ(serving::resultDigest(results[i]),
+                      serialDigests[i])
+                << "cell " << i
+                << " diverged between serial and concurrent execution";
+        }
+    }
+    // Concurrent runs are also stable against each other.
+    {
+        ScopedSweepEnv env("3");
+        const auto results = runSweep(makeSpec());
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            EXPECT_EQ(serving::resultDigest(results[i]),
+                      serialDigests[i]);
+        }
+    }
+}
+
+TEST(Sweep, ResultsComeBackInCellOrderDespiteSkewedCosts)
+{
+    ScopedSweepEnv env("8");
+    std::vector<std::function<int()>> cells;
+    for (int i = 0; i < 24; ++i) {
+        cells.push_back([i] {
+            // Earlier cells sleep longer, so completion order is
+            // roughly the reverse of declaration order.
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds((24 - i) % 7));
+            return i;
+        });
+    }
+    SweepOptions options;
+    options.title = "ordering";
+    const auto results = runCells(std::move(cells), options);
+    for (int i = 0; i < 24; ++i)
+        EXPECT_EQ(results[i], i);
+}
+
+TEST(Sweep, SplitRangeCoversExactlyOnce)
+{
+    for (const std::size_t total : {0u, 1u, 7u, 100u, 101u}) {
+        for (const std::size_t parts : {1u, 3u, 8u, 200u}) {
+            const auto ranges = splitRange(total, parts);
+            std::size_t covered = 0;
+            std::size_t prev = 0;
+            for (const auto &[lo, hi] : ranges) {
+                EXPECT_EQ(lo, prev);
+                EXPECT_LT(lo, hi);
+                covered += hi - lo;
+                prev = hi;
+            }
+            EXPECT_EQ(covered, total);
+        }
+    }
+}
+
+TEST(Sweep, EnvOverridesOptions)
+{
+    {
+        ScopedSweepEnv env("1");
+        SweepOptions options;
+        options.parallelism = 16;
+        EXPECT_EQ(resolveSweepParallelism(options), 1u);
+        EXPECT_FALSE(resolveSweepProgress(options));
+    }
+    {
+        // Env value 0 means "match the pool", even when the binary set
+        // its own default.
+        ScopedSweepEnv env("0");
+        SweepOptions options;
+        options.parallelism = 1;
+        EXPECT_EQ(resolveSweepParallelism(options),
+                  ThreadPool::global().concurrency());
+    }
+    {
+        // No env: the options value wins.
+        ScopedSweepEnv env(nullptr);
+        SweepOptions options;
+        options.parallelism = 5;
+        EXPECT_EQ(resolveSweepParallelism(options), 5u);
+    }
+}
+
+} // namespace
+} // namespace modm::bench
