@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Retrieval-backend ablation: exact flat scan vs IVF approximate
+ * search, swept over the nprobe knob and cache size.
+ *
+ * The paper never explored approximate retrieval — its 100k-entry flat
+ * scan is already negligible against 10+ s of denoising. At production
+ * scale (1M+ entries, sub-millisecond budgets) the backend becomes a
+ * real knob, so this ablation measures what the approximation costs
+ * end to end: serving hit rate, CLIP-score quality of the served
+ * images, recall@1 vs the exact scan (an approximate hit may refine
+ * from a different cached image), and raw retrieval latency per query.
+ *
+ * Every serving cell runs through the sweep engine on the shared task
+ * pool; the latency column is a bespoke timing pass over an index
+ * built from the same embedding distribution the serving run caches.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "bench/sweep.hh"
+#include "src/embedding/vector_index.hh"
+#include "src/eval/metrics.hh"
+
+using namespace modm;
+
+namespace {
+
+constexpr std::size_t kTraceRequests = 4000;
+constexpr std::size_t kLatencyQueries = 400;
+
+/**
+ * Immutable embedding rows + queries for the latency pass, built once
+ * per cache size and shared read-only across that size's cells (the
+ * rows are identical for every backend; only the index differs).
+ */
+struct LatencyData
+{
+    std::vector<embedding::Embedding> rows;
+    std::vector<embedding::Embedding> queries;
+};
+
+std::shared_ptr<const LatencyData>
+makeLatencyData(std::size_t cacheSize)
+{
+    auto data = std::make_shared<LatencyData>();
+    auto gen = workload::makeDiffusionDB(7);
+    diffusion::Sampler sampler(11);
+    embedding::ImageEncoder image;
+    embedding::TextEncoder text;
+    data->rows.reserve(cacheSize);
+    for (std::size_t i = 0; i < cacheSize; ++i) {
+        const auto img =
+            sampler.generate(diffusion::sd35Large(), gen->next(), 0.0);
+        data->rows.push_back(
+            image.encode(img.content, img.fidelity, img.id));
+    }
+    data->queries.reserve(kLatencyQueries);
+    for (std::size_t q = 0; q < kLatencyQueries; ++q) {
+        const auto p = gen->next();
+        data->queries.push_back(
+            text.encode(p.visualConcept, p.lexicalStyle, p.text));
+    }
+    return data;
+}
+
+/** One (backend, cache size) configuration under ablation. */
+struct BackendPoint
+{
+    std::string name;
+    embedding::RetrievalBackendConfig retrieval;
+    std::size_t cacheSize;
+    std::shared_ptr<const LatencyData> latencyData;
+};
+
+/** Everything one cell measures. */
+struct CellResult
+{
+    double hitRate = 0.0;
+    double clip = 0.0;
+    double recall = 1.0;
+    std::uint64_t recallChecked = 0;
+    double usPerQuery = 0.0;
+};
+
+serving::ServingConfig
+makeConfig(const BackendPoint &point)
+{
+    serving::ServingConfig config;
+    config.kind = serving::SystemKind::MoDM;
+    config.cacheCapacity = point.cacheSize;
+    config.retrieval = point.retrieval;
+    config.keepOutputs = true;
+    return config;
+}
+
+/**
+ * Mean retrieval latency of the backend over the cell's shared
+ * embedding set (the same image-embedding distribution the serving
+ * run caches). Wall time, so this column (alone) varies run to run.
+ */
+double
+measureLatencyUs(const BackendPoint &point)
+{
+    const LatencyData &data = *point.latencyData;
+    auto index =
+        embedding::makeVectorIndex(point.retrieval,
+                                   embedding::kEmbeddingDim);
+    index->reserve(data.rows.size());
+    for (std::size_t i = 0; i < data.rows.size(); ++i)
+        index->insert(1 + i, data.rows[i]);
+    double sink = 0.0;
+    const auto start = std::chrono::steady_clock::now();
+    for (const auto &q : data.queries)
+        sink += index->best(q).similarity;
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    // Keep the scans observable so the loop cannot be elided.
+    if (sink == -1e30)
+        std::fprintf(stderr, "impossible\n");
+    return seconds * 1e6 / static_cast<double>(data.queries.size());
+}
+
+CellResult
+runCell(const BackendPoint &point)
+{
+    const auto config = makeConfig(point);
+    const auto bundle = bench::batchBundle(
+        bench::Dataset::DiffusionDB, point.cacheSize, kTraceRequests);
+    const auto result = bench::runSystem(config, bundle);
+
+    CellResult out;
+    out.hitRate = result.hitRate;
+    out.recall = result.retrievalRecallAt1;
+    out.recallChecked = result.retrievalChecked;
+    eval::MetricSuite metrics;
+    double clipSum = 0.0;
+    for (std::size_t i = 0; i < result.images.size(); ++i)
+        clipSum += metrics.clipScore(result.prompts[i],
+                                     result.images[i]);
+    out.clip = result.images.empty()
+        ? 0.0
+        : clipSum / static_cast<double>(result.images.size());
+    out.usPerQuery = measureLatencyUs(point);
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::vector<BackendPoint> points;
+    for (const std::size_t cacheSize :
+         {std::size_t{1000}, std::size_t{4000}}) {
+        const auto latencyData = makeLatencyData(cacheSize);
+        embedding::RetrievalBackendConfig flat;
+        points.push_back({"Flat", flat, cacheSize, latencyData});
+        for (const std::size_t nprobe :
+             {std::size_t{1}, std::size_t{4}, std::size_t{8},
+              std::size_t{16}}) {
+            embedding::RetrievalBackendConfig ivf;
+            ivf.kind = embedding::RetrievalBackend::Ivf;
+            ivf.nprobe = nprobe;
+            points.push_back({"IVF/nprobe=" + std::to_string(nprobe),
+                              ivf, cacheSize, latencyData});
+        }
+    }
+
+    std::vector<std::function<CellResult()>> cells;
+    std::vector<std::string> labels;
+    for (const auto &point : points) {
+        labels.push_back(point.name + "/cache=" +
+                         std::to_string(point.cacheSize));
+        cells.push_back([point] { return runCell(point); });
+    }
+    bench::SweepOptions options;
+    options.title = "Ablation retrieval backend";
+    const auto results =
+        bench::runCells(std::move(cells), options, labels);
+
+    // Flat latency per cache size, for the speedup column.
+    std::vector<double> flatUs(points.size(), 0.0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (points[i].name == "Flat") {
+            for (std::size_t j = 0; j < points.size(); ++j)
+                if (points[j].cacheSize == points[i].cacheSize)
+                    flatUs[j] = results[i].usPerQuery;
+        }
+    }
+
+    Table t({"backend", "cache size", "hit rate", "mean CLIP",
+             "recall@1", "retrieval us/query", "speedup vs flat"});
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const auto &r = results[i];
+        t.addRow({points[i].name, Table::fmt(points[i].cacheSize),
+                  Table::fmt(r.hitRate, 3), Table::fmt(r.clip, 4),
+                  Table::fmt(r.recall, 3), Table::fmt(r.usPerQuery, 1),
+                  Table::fmt(r.usPerQuery > 0.0
+                                 ? flatUs[i] / r.usPerQuery
+                                 : 0.0,
+                             2)});
+    }
+    t.print("Ablation — retrieval backend (MoDM, DiffusionDB batch, " +
+            std::to_string(kTraceRequests) +
+            " requests; recall@1 vs exhaustive scan; latency is wall "
+            "time and varies by machine)");
+    std::printf(
+        "\nNote: IVF trains its coarse quantizer at %zu entries "
+        "(4 x nlist); below that it scans exactly like Flat.\n",
+        embedding::RetrievalBackendConfig{}.nlist * 4);
+    return 0;
+}

@@ -115,20 +115,27 @@ runCells(std::vector<std::function<R()>> cells,
     std::atomic<std::size_t> nextCell{0};
     std::atomic<std::size_t> doneCells{0};
     const auto runOne = [&](std::size_t i) {
+        const auto cellStarted = std::chrono::steady_clock::now();
         results[i] = cells[i]();
         const std::size_t done = ++doneCells;
         if (progress) {
-            const double elapsed =
-                std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - started)
+            // Per-cell wall time alongside the sweep total, so every
+            // figure binary reports where time goes without a profiler.
+            const auto now = std::chrono::steady_clock::now();
+            const double cellElapsed =
+                std::chrono::duration<double>(now - cellStarted)
                     .count();
+            const double elapsed =
+                std::chrono::duration<double>(now - started).count();
             std::lock_guard<std::mutex> lock(progressMutex);
-            std::fprintf(stderr, "[%s] %zu/%zu done%s%s (%.1fs)\n",
+            std::fprintf(stderr,
+                         "[%s] %zu/%zu done%s%s (cell %.1fs, "
+                         "total %.1fs)\n",
                          options.title.empty() ? "sweep"
                                                : options.title.c_str(),
                          done, n, labels.empty() ? "" : ": ",
                          labels.empty() ? "" : labels[i].c_str(),
-                         elapsed);
+                         cellElapsed, elapsed);
         }
     };
 

@@ -22,9 +22,11 @@ policyName(EvictionPolicy policy)
 
 ImageCache::ImageCache(std::size_t capacity, EvictionPolicy policy,
                        embedding::ImageEncoderConfig encoder_config,
-                       std::uint64_t seed)
+                       std::uint64_t seed,
+                       embedding::RetrievalBackendConfig retrieval)
     : capacity_(capacity), policy_(policy), encoder_(encoder_config),
-      rng_(seed), index_(encoder_config.dim)
+      retrieval_(retrieval), rng_(seed),
+      index_(embedding::makeVectorIndex(retrieval, encoder_config.dim))
 {
     MODM_ASSERT(capacity_ > 0, "cache capacity must be positive");
 }
@@ -35,7 +37,7 @@ ImageCache::reserve(std::size_t expected)
     const std::size_t n = std::min(expected, capacity_);
     entries_.reserve(n);
     lruPos_.reserve(n);
-    index_.reserve(n);
+    index_->reserve(n);
 }
 
 void
@@ -54,7 +56,7 @@ ImageCache::insert(const diffusion::Image &image, double now)
     entry.insertTime = now;
     entry.lastHitTime = now;
 
-    index_.insert(image.id, entry.imageEmbedding);
+    index_->insert(image.id, entry.imageEmbedding);
     fifo_.push_back(image.id);
     lruOrder_.push_back(image.id);
     lruPos_[image.id] = std::prev(lruOrder_.end());
@@ -66,14 +68,25 @@ ImageCache::insert(const diffusion::Image &image, double now)
 RetrievalResult
 ImageCache::retrieve(const embedding::Embedding &query) const
 {
-    ++const_cast<ImageCacheStats &>(stats_).lookups;
+    auto &stats = const_cast<ImageCacheStats &>(stats_);
+    ++stats.lookups;
     RetrievalResult result;
     if (entries_.empty())
         return result;
-    const auto match = index_.best(query);
+    const auto match = index_->best(query);
     result.found = true;
     result.entryId = match.id;
     result.similarity = match.similarity;
+    if (retrieval_.trackRecall && index_->approximate()) {
+        // Quality attribution for approximate backends: did this
+        // lookup return the entry an exhaustive scan would have?
+        const auto exact = index_->exactBest(query);
+        result.exactChecked = true;
+        result.exactAgreed = exact.id == match.id;
+        ++stats.recallChecked;
+        if (result.exactAgreed)
+            ++stats.recallAgreed;
+    }
     return result;
 }
 
@@ -176,7 +189,7 @@ ImageCache::erase(std::uint64_t id)
     const auto it = entries_.find(id);
     MODM_ASSERT(it != entries_.end(), "erase of absent entry");
     storedBytes_ -= it->second.image.byteSize;
-    index_.remove(id);
+    index_->remove(id);
     const auto pos = lruPos_.find(id);
     if (pos != lruPos_.end()) {
         lruOrder_.erase(pos->second);
@@ -224,7 +237,7 @@ void
 ImageCache::clear()
 {
     entries_.clear();
-    index_.clear();
+    index_->clear();
     fifo_.clear();
     lruOrder_.clear();
     lruPos_.clear();

@@ -26,10 +26,12 @@
 #include <string>
 #include <unordered_map>
 
+#include <memory>
+
 #include "src/common/rng.hh"
 #include "src/diffusion/image.hh"
 #include "src/embedding/encoder.hh"
-#include "src/embedding/index.hh"
+#include "src/embedding/vector_index.hh"
 
 namespace modm::cache {
 
@@ -63,6 +65,13 @@ struct RetrievalResult
     std::uint64_t entryId = 0;
     /** Cosine similarity of the best match. */
     double similarity = -1.0;
+    /**
+     * True when this lookup was compared against an exhaustive scan
+     * (approximate backends with recall tracking on).
+     */
+    bool exactChecked = false;
+    /** When checked: did the backend return the exact best entry? */
+    bool exactAgreed = false;
 };
 
 /** Aggregate cache statistics. */
@@ -74,6 +83,10 @@ struct ImageCacheStats
     std::uint64_t hitsRecorded = 0;
     /** Times the FIFO deque was compacted to drop stale slots. */
     std::uint64_t fifoCompactions = 0;
+    /** Lookups compared against an exhaustive scan (recall@1). */
+    std::uint64_t recallChecked = 0;
+    /** Checked lookups where the backend matched the exact best. */
+    std::uint64_t recallAgreed = 0;
 };
 
 /**
@@ -88,10 +101,13 @@ class ImageCache
      * @param encoder_config Image-tower configuration for embedding
      *        inserted images.
      * @param seed Seed for sampled utility eviction.
+     * @param retrieval Retrieval-backend selection and tuning; the
+     *        default is the exact flat scan.
      */
     ImageCache(std::size_t capacity, EvictionPolicy policy,
                embedding::ImageEncoderConfig encoder_config = {},
-               std::uint64_t seed = 1);
+               std::uint64_t seed = 1,
+               embedding::RetrievalBackendConfig retrieval = {});
 
     /**
      * Pre-size the entry map, retrieval index, and LRU bookkeeping for
@@ -137,22 +153,32 @@ class ImageCache
     EvictionPolicy policy() const { return policy_; }
 
     /**
-     * Retrieval scan parallelism, forwarded to the embedding index:
-     * 1 (default) = serial, 0 = match the global thread pool.
+     * Retrieval scan parallelism, forwarded to the retrieval backend:
+     * 1 (default) = serial, 0 = match the global thread pool. Backends
+     * without a sharded scan ignore it.
      */
     void setRetrievalParallelism(std::size_t threads)
     {
-        index_.setParallelism(threads);
+        index_->setParallelism(threads);
     }
 
     /**
      * Minimum index size before retrieval scans shard (forwarded to
-     * the embedding index); lower it to engage sharding on small
+     * the retrieval backend); lower it to engage sharding on small
      * caches.
      */
     void setRetrievalParallelThreshold(std::size_t rows)
     {
-        index_.setParallelThreshold(rows);
+        index_->setParallelThreshold(rows);
+    }
+
+    /** The retrieval backend (exposed for tests and benchmarks). */
+    const embedding::VectorIndex &index() const { return *index_; }
+
+    /** Active retrieval-backend configuration. */
+    const embedding::RetrievalBackendConfig &retrievalConfig() const
+    {
+        return retrieval_;
     }
 
     /**
@@ -175,10 +201,11 @@ class ImageCache
     std::size_t capacity_;
     EvictionPolicy policy_;
     embedding::ImageEncoder encoder_;
+    embedding::RetrievalBackendConfig retrieval_;
     mutable Rng rng_;
 
     std::unordered_map<std::uint64_t, CacheEntry> entries_;
-    embedding::CosineIndex index_;
+    std::unique_ptr<embedding::VectorIndex> index_;
     std::deque<std::uint64_t> fifo_;          // FIFO order
     std::list<std::uint64_t> lruOrder_;       // front = least recent
     std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator>

@@ -7,10 +7,13 @@
 namespace modm::cache {
 
 LatentCache::LatentCache(std::size_t capacity, std::string model_name,
-                         NirvanaThresholds thresholds, std::uint64_t seed)
+                         NirvanaThresholds thresholds, std::uint64_t seed,
+                         embedding::RetrievalBackendConfig retrieval)
     : capacity_(capacity), modelName_(std::move(model_name)),
-      thresholds_(std::move(thresholds)), rng_(seed),
-      index_(embedding::kEmbeddingDim)
+      thresholds_(std::move(thresholds)), retrieval_(retrieval),
+      rng_(seed),
+      index_(embedding::makeVectorIndex(retrieval,
+                                        embedding::kEmbeddingDim))
 {
     MODM_ASSERT(capacity_ > 0, "latent cache capacity must be positive");
     MODM_ASSERT(thresholds_.similarityFloors.size() ==
@@ -26,7 +29,7 @@ LatentCache::reserve(std::size_t expected)
 {
     const std::size_t n = std::min(expected, capacity_);
     entries_.reserve(n);
-    index_.reserve(n);
+    index_->reserve(n);
 }
 
 void
@@ -51,7 +54,7 @@ LatentCache::insert(const diffusion::Image &image,
     entry.modelName = image.modelName;
     entry.insertTime = now;
 
-    index_.insert(image.id, entry.textEmbedding);
+    index_->insert(image.id, entry.textEmbedding);
     order_.push_back(image.id);
     storedBytes_ += kLatentSetBytes;
     entries_.emplace(image.id, std::move(entry));
@@ -63,7 +66,17 @@ LatentCache::retrieve(const embedding::Embedding &query_text) const
     LatentHit hit;
     if (entries_.empty())
         return hit;
-    const auto match = index_.best(query_text);
+    const auto match = index_->best(query_text);
+    if (retrieval_.trackRecall && index_->approximate()) {
+        // Recall accounting runs before thresholding: an approximate
+        // miss of the exact best can also flip a hit into a miss.
+        const auto exact = index_->exactBest(query_text);
+        hit.exactChecked = true;
+        hit.exactAgreed = exact.id == match.id;
+        ++recallChecked_;
+        if (hit.exactAgreed)
+            ++recallAgreed_;
+    }
     if (match.similarity < thresholds_.hitThreshold)
         return hit;
     hit.found = true;
@@ -124,7 +137,7 @@ LatentCache::evictOne()
     }
     const auto it = entries_.find(victim);
     MODM_ASSERT(it != entries_.end(), "latent victim vanished");
-    index_.remove(victim);
+    index_->remove(victim);
     storedBytes_ -= kLatentSetBytes;
     entries_.erase(it);
     if (!order_.empty() && order_.front() == victim)

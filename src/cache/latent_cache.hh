@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -29,7 +30,7 @@
 #include "src/common/rng.hh"
 #include "src/diffusion/image.hh"
 #include "src/embedding/encoder.hh"
-#include "src/embedding/index.hh"
+#include "src/embedding/vector_index.hh"
 
 namespace modm::cache {
 
@@ -74,6 +75,10 @@ struct LatentHit
     double similarity = -1.0;
     /** De-noising steps to skip, per the threshold mapping. */
     int k = 0;
+    /** True when compared against an exhaustive scan (recall@1). */
+    bool exactChecked = false;
+    /** When checked: did the backend return the exact best entry? */
+    bool exactAgreed = false;
 };
 
 /**
@@ -87,10 +92,13 @@ class LatentCache
      * @param model_name The single model this cache serves.
      * @param thresholds Similarity -> k mapping.
      * @param seed Seed for sampled utility eviction.
+     * @param retrieval Retrieval-backend selection and tuning; the
+     *        default is the exact flat scan.
      */
     LatentCache(std::size_t capacity, std::string model_name,
                 NirvanaThresholds thresholds = {},
-                std::uint64_t seed = 1);
+                std::uint64_t seed = 1,
+                embedding::RetrievalBackendConfig retrieval = {});
 
     /**
      * Pre-size the entry map and retrieval index for `expected`
@@ -140,13 +148,23 @@ class LatentCache
     const NirvanaThresholds &thresholds() const { return thresholds_; }
 
     /**
-     * Retrieval scan parallelism, forwarded to the embedding index:
-     * 1 (default) = serial, 0 = match the global thread pool.
+     * Retrieval scan parallelism, forwarded to the retrieval backend:
+     * 1 (default) = serial, 0 = match the global thread pool. Backends
+     * without a sharded scan ignore it.
      */
     void setRetrievalParallelism(std::size_t threads)
     {
-        index_.setParallelism(threads);
+        index_->setParallelism(threads);
     }
+
+    /** Lookups compared against an exhaustive scan (recall@1). */
+    std::uint64_t recallChecked() const { return recallChecked_; }
+
+    /** Checked lookups where the backend matched the exact best. */
+    std::uint64_t recallAgreed() const { return recallAgreed_; }
+
+    /** The retrieval backend (exposed for tests and benchmarks). */
+    const embedding::VectorIndex &index() const { return *index_; }
 
   private:
     void evictOne();
@@ -156,15 +174,18 @@ class LatentCache
     std::size_t capacity_;
     std::string modelName_;
     NirvanaThresholds thresholds_;
+    embedding::RetrievalBackendConfig retrieval_;
     mutable Rng rng_;
 
     std::unordered_map<std::uint64_t, LatentEntry> entries_;
-    embedding::CosineIndex index_;
+    std::unique_ptr<embedding::VectorIndex> index_;
     std::deque<std::uint64_t> order_;
     std::size_t staleOrder_ = 0; // order_ ids no longer in entries_
     std::uint64_t orderCompactions_ = 0;
     double storedBytes_ = 0.0;
     std::uint64_t rejectedInserts_ = 0;
+    mutable std::uint64_t recallChecked_ = 0;
+    mutable std::uint64_t recallAgreed_ = 0;
 };
 
 } // namespace modm::cache

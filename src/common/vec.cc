@@ -12,19 +12,7 @@ dot(const Vec &a, const Vec &b)
 {
     MODM_ASSERT(a.size() == b.size(), "dot: dimension mismatch %zu vs %zu",
                 a.size(), b.size());
-    double acc = 0.0;
-    for (std::size_t i = 0; i < a.size(); ++i)
-        acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
-    return acc;
-}
-
-double
-dot(const float *a, const float *b, std::size_t n)
-{
-    double acc = 0.0;
-    for (std::size_t i = 0; i < n; ++i)
-        acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
-    return acc;
+    return dot(a.data(), b.data(), a.size());
 }
 
 double

@@ -31,14 +31,14 @@ shardRange(std::size_t s, std::size_t shards, std::size_t rows)
 
 } // namespace
 
-CosineIndex::CosineIndex(std::size_t dim)
+FlatIndex::FlatIndex(std::size_t dim)
     : dim_(dim)
 {
     MODM_ASSERT(dim_ > 0, "index dimension must be positive");
 }
 
 void
-CosineIndex::reserve(std::size_t rows)
+FlatIndex::reserve(std::size_t rows)
 {
     rows_.reserve(rows * dim_);
     ids_.reserve(rows);
@@ -46,7 +46,7 @@ CosineIndex::reserve(std::size_t rows)
 }
 
 void
-CosineIndex::insert(std::uint64_t id, const Embedding &embedding)
+FlatIndex::insert(std::uint64_t id, const Embedding &embedding)
 {
     MODM_ASSERT(embedding.dim() == dim_,
                 "index insert: dimension %zu != %zu", embedding.dim(), dim_);
@@ -59,7 +59,7 @@ CosineIndex::insert(std::uint64_t id, const Embedding &embedding)
 }
 
 bool
-CosineIndex::remove(std::uint64_t id)
+FlatIndex::remove(std::uint64_t id)
 {
     const auto it = slotOf_.find(id);
     if (it == slotOf_.end())
@@ -80,13 +80,13 @@ CosineIndex::remove(std::uint64_t id)
 }
 
 bool
-CosineIndex::contains(std::uint64_t id) const
+FlatIndex::contains(std::uint64_t id) const
 {
     return slotOf_.find(id) != slotOf_.end();
 }
 
 std::size_t
-CosineIndex::scanShards() const
+FlatIndex::scanShards() const
 {
     if (parallelism_ == 1 || ids_.size() < parallelThreshold_)
         return 1;
@@ -100,8 +100,8 @@ CosineIndex::scanShards() const
     return std::max<std::size_t>(1, std::min(want, ids_.size()));
 }
 
-CosineIndex::SlotScore
-CosineIndex::scanBest(const float *query, std::size_t lo,
+FlatIndex::SlotScore
+FlatIndex::scanBest(const float *query, std::size_t lo,
                       std::size_t hi) const
 {
     SlotScore result{lo, -2.0};
@@ -115,8 +115,8 @@ CosineIndex::scanBest(const float *query, std::size_t lo,
     return result;
 }
 
-std::vector<CosineIndex::SlotScore>
-CosineIndex::scanTop(const float *query, std::size_t lo, std::size_t hi,
+std::vector<FlatIndex::SlotScore>
+FlatIndex::scanTop(const float *query, std::size_t lo, std::size_t hi,
                      std::size_t keep) const
 {
     // Bounded selection: a heap of the `keep` best slots seen so far,
@@ -147,7 +147,7 @@ CosineIndex::scanTop(const float *query, std::size_t lo, std::size_t hi,
 }
 
 Match
-CosineIndex::best(const Embedding &query) const
+FlatIndex::best(const Embedding &query) const
 {
     Match result;
     if (empty())
@@ -178,7 +178,7 @@ CosineIndex::best(const Embedding &query) const
 }
 
 std::vector<Match>
-CosineIndex::topK(const Embedding &query, std::size_t k) const
+FlatIndex::topK(const Embedding &query, std::size_t k) const
 {
     std::vector<Match> result;
     if (empty() || k == 0)
@@ -212,7 +212,7 @@ CosineIndex::topK(const Embedding &query, std::size_t k) const
 }
 
 void
-CosineIndex::clear()
+FlatIndex::clear()
 {
     rows_.clear();
     ids_.clear();

@@ -1,6 +1,7 @@
 /**
  * @file
- * Cosine-similarity top-k index over embeddings.
+ * Exact flat cosine retrieval — the Flat backend of the VectorIndex
+ * interface (vector_index.hh).
  *
  * The paper stores 100k image embeddings (~0.29 GB of CLIP vectors) and
  * reports retrieval latency of ~0.05 s — negligible against 10+ s of
@@ -26,20 +27,15 @@
 #include <vector>
 
 #include "src/embedding/embedding.hh"
+#include "src/embedding/vector_index.hh"
 
 namespace modm::embedding {
 
-/** One retrieval result. */
-struct Match
-{
-    std::uint64_t id = 0;
-    double similarity = -1.0;
-};
-
 /**
- * Flat cosine index keyed by caller-assigned 64-bit ids.
+ * Flat cosine index keyed by caller-assigned 64-bit ids. Exact: every
+ * query scans every row.
  */
-class CosineIndex
+class FlatIndex final : public VectorIndex
 {
   public:
     /**
@@ -50,7 +46,7 @@ class CosineIndex
     static constexpr std::size_t kDefaultParallelThreshold = 8192;
 
     /** Create an index for embeddings of the given dimensionality. */
-    explicit CosineIndex(std::size_t dim = kEmbeddingDim);
+    explicit FlatIndex(std::size_t dim = kEmbeddingDim);
 
     /**
      * Pre-allocate room for `rows` embeddings: one contiguous
@@ -58,32 +54,30 @@ class CosineIndex
      * insertion (cache warm-up) avoids repeated rows_ reallocation and
      * slotOf_ rehash churn.
      */
-    void reserve(std::size_t rows);
+    void reserve(std::size_t rows) override;
 
     /** Insert an embedding under a fresh id; ids must be unique. */
-    void insert(std::uint64_t id, const Embedding &embedding);
+    void insert(std::uint64_t id, const Embedding &embedding) override;
 
     /** Remove an id; returns false when absent. */
-    bool remove(std::uint64_t id);
+    bool remove(std::uint64_t id) override;
 
     /** True when the id is present. */
-    bool contains(std::uint64_t id) const;
+    bool contains(std::uint64_t id) const override;
 
     /** Number of stored embeddings. */
-    std::size_t size() const { return ids_.size(); }
-
-    /** True when empty. */
-    bool empty() const { return ids_.empty(); }
+    std::size_t size() const override { return ids_.size(); }
 
     /**
      * Best match for a query, or a Match with similarity -1 when the
      * index is empty.
      */
-    Match best(const Embedding &query) const;
+    Match best(const Embedding &query) const override;
 
     /** Top-k matches ordered by decreasing similarity (ties: insertion
      *  order). */
-    std::vector<Match> topK(const Embedding &query, std::size_t k) const;
+    std::vector<Match> topK(const Embedding &query,
+                            std::size_t k) const override;
 
     /**
      * Set the scan parallelism: 1 (the default) forces serial scans,
@@ -91,7 +85,10 @@ class CosineIndex
      * exactly that many shards (the pool drains them with the threads
      * it has).
      */
-    void setParallelism(std::size_t threads) { parallelism_ = threads; }
+    void setParallelism(std::size_t threads) override
+    {
+        parallelism_ = threads;
+    }
 
     /** Configured parallelism (0 = auto). */
     std::size_t parallelism() const { return parallelism_; }
@@ -100,13 +97,16 @@ class CosineIndex
      * Minimum index size before scans shard; lower it to 0 to force the
      * sharded path even on tiny indexes (used by the property tests).
      */
-    void setParallelThreshold(std::size_t rows) { parallelThreshold_ = rows; }
+    void setParallelThreshold(std::size_t rows) override
+    {
+        parallelThreshold_ = rows;
+    }
 
     /** Active parallel threshold. */
     std::size_t parallelThreshold() const { return parallelThreshold_; }
 
     /** Remove everything. */
-    void clear();
+    void clear() override;
 
   private:
     /** Scored slot, the unit the scan and merge operate on. */
@@ -134,6 +134,9 @@ class CosineIndex
     std::vector<std::uint64_t> ids_;             // slot -> id
     std::unordered_map<std::uint64_t, std::size_t> slotOf_; // id -> slot
 };
+
+/** Historical name of the flat backend, kept for existing callers. */
+using CosineIndex = FlatIndex;
 
 } // namespace modm::embedding
 

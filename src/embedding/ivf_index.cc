@@ -1,0 +1,408 @@
+#include "src/embedding/ivf_index.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "src/common/log.hh"
+#include "src/common/rng.hh"
+
+namespace modm::embedding {
+
+namespace {
+
+/** Total order on scored ids: similarity desc, id asc. */
+bool
+idScoreBefore(std::uint64_t idA, double scoreA, std::uint64_t idB,
+              double scoreB)
+{
+    if (scoreA != scoreB)
+        return scoreA > scoreB;
+    return idA < idB;
+}
+
+} // namespace
+
+IvfIndex::IvfIndex(const RetrievalBackendConfig &config, std::size_t dim)
+    : dim_(dim), config_(config), lists_(1)
+{
+    MODM_ASSERT(dim_ > 0, "ivf index dimension must be positive");
+    MODM_ASSERT(config_.nlist > 0, "ivf nlist must be positive");
+    MODM_ASSERT(config_.nlist <= kMaxTrainRows,
+                "ivf nlist %zu exceeds the training-sample cap %zu",
+                config_.nlist, kMaxTrainRows);
+    config_.nprobe = std::max<std::size_t>(1, config_.nprobe);
+}
+
+std::size_t
+IvfIndex::trainFloor() const
+{
+    return kTrainFactor * config_.nlist;
+}
+
+void
+IvfIndex::reserve(std::size_t rows)
+{
+    locator_.reserve(rows);
+    if (!trained_) {
+        lists_[0].rows.reserve(std::min(rows, trainFloor()) * dim_);
+        lists_[0].ids.reserve(std::min(rows, trainFloor()));
+    }
+}
+
+std::size_t
+IvfIndex::assignList(const float *row) const
+{
+    std::size_t bestList = 0;
+    double bestScore = -2.0;
+    for (std::size_t c = 0; c < lists_.size(); ++c) {
+        const double score = dot(row, &centroids_[c * dim_], dim_);
+        if (score > bestScore) {
+            bestScore = score;
+            bestList = c;
+        }
+    }
+    return bestList;
+}
+
+void
+IvfIndex::appendToList(std::size_t list, std::uint64_t id,
+                       const float *row)
+{
+    List &l = lists_[list];
+    locator_[id] = {list, l.ids.size()};
+    l.ids.push_back(id);
+    l.rows.insert(l.rows.end(), row, row + dim_);
+}
+
+void
+IvfIndex::insert(std::uint64_t id, const Embedding &embedding)
+{
+    MODM_ASSERT(embedding.dim() == dim_,
+                "ivf insert: dimension %zu != %zu", embedding.dim(), dim_);
+    MODM_ASSERT(!contains(id), "ivf insert: duplicate id %llu",
+                static_cast<unsigned long long>(id));
+    const float *row = embedding.vec().data();
+    appendToList(trained_ ? assignList(row) : 0, id, row);
+    ++insertsSinceTrain_;
+    if (!trained_) {
+        if (size() >= trainFloor())
+            train();
+    } else {
+        maybeRetrain();
+    }
+}
+
+bool
+IvfIndex::remove(std::uint64_t id)
+{
+    const auto it = locator_.find(id);
+    if (it == locator_.end())
+        return false;
+    const Location loc = it->second;
+    List &l = lists_[loc.list];
+    const std::size_t last = l.ids.size() - 1;
+    if (loc.pos != last) {
+        // Swap the list's last row into the vacated position.
+        std::memcpy(&l.rows[loc.pos * dim_], &l.rows[last * dim_],
+                    dim_ * sizeof(float));
+        l.ids[loc.pos] = l.ids[last];
+        locator_[l.ids[loc.pos]].pos = loc.pos;
+    }
+    l.rows.resize(last * dim_);
+    l.ids.pop_back();
+    locator_.erase(it);
+    return true;
+}
+
+bool
+IvfIndex::contains(std::uint64_t id) const
+{
+    return locator_.find(id) != locator_.end();
+}
+
+void
+IvfIndex::train()
+{
+    const std::size_t total = size();
+    const std::size_t nlist = config_.nlist;
+    if (total < nlist)
+        return; // not enough rows to seed distinct centroids
+
+    // Gather the training sample: a fixed stride over the current
+    // enumeration order (lists in order, positions in order) capped at
+    // kMaxTrainRows — a pure function of the index contents.
+    std::vector<const float *> rowPtrs;
+    rowPtrs.reserve(total);
+    for (const List &l : lists_) {
+        for (std::size_t p = 0; p < l.ids.size(); ++p)
+            rowPtrs.push_back(&l.rows[p * dim_]);
+    }
+    const std::size_t sampleCount = std::min(total, kMaxTrainRows);
+    std::vector<const float *> sample;
+    sample.reserve(sampleCount);
+    for (std::size_t s = 0; s < sampleCount; ++s)
+        sample.push_back(rowPtrs[total * s / sampleCount]);
+
+    // Seed centroids: partial Fisher-Yates over the sample picks nlist
+    // distinct rows, driven by the configured seed (mixed with the
+    // training generation so retrains explore fresh seedings).
+    Rng rng(config_.seed ^ mix64(trainings_));
+    std::vector<std::size_t> perm(sample.size());
+    for (std::size_t i = 0; i < perm.size(); ++i)
+        perm[i] = i;
+    std::vector<float> centroids(nlist * dim_);
+    for (std::size_t c = 0; c < nlist; ++c) {
+        const std::size_t pick =
+            c + rng.uniformInt(perm.size() - c);
+        std::swap(perm[c], perm[pick]);
+        std::memcpy(&centroids[c * dim_], sample[perm[c]],
+                    dim_ * sizeof(float));
+    }
+
+    // Lloyd iterations with cosine assignment (spherical k-means):
+    // assign to the max-dot centroid (ties: lowest index), recompute
+    // each centroid as the normalized mean of its members, and reseed
+    // empty clusters from the worst-fitting rows so no list is dead.
+    std::vector<std::size_t> assign(sample.size());
+    std::vector<double> bestDot(sample.size());
+    std::vector<double> sums(nlist * dim_);
+    std::vector<std::size_t> counts(nlist);
+    for (std::size_t iter = 0; iter < kKmeansIters; ++iter) {
+        for (std::size_t s = 0; s < sample.size(); ++s) {
+            std::size_t bestC = 0;
+            double best = -2.0;
+            for (std::size_t c = 0; c < nlist; ++c) {
+                const double score =
+                    dot(sample[s], &centroids[c * dim_], dim_);
+                if (score > best) {
+                    best = score;
+                    bestC = c;
+                }
+            }
+            assign[s] = bestC;
+            bestDot[s] = best;
+        }
+        std::fill(sums.begin(), sums.end(), 0.0);
+        std::fill(counts.begin(), counts.end(), 0);
+        for (std::size_t s = 0; s < sample.size(); ++s) {
+            double *sum = &sums[assign[s] * dim_];
+            const float *row = sample[s];
+            for (std::size_t d = 0; d < dim_; ++d)
+                sum[d] += row[d];
+            ++counts[assign[s]];
+        }
+        for (std::size_t c = 0; c < nlist; ++c) {
+            if (counts[c] == 0)
+                continue; // reseeded below
+            const double *sum = &sums[c * dim_];
+            double normSq = 0.0;
+            for (std::size_t d = 0; d < dim_; ++d)
+                normSq += sum[d] * sum[d];
+            if (normSq <= 0.0)
+                continue; // degenerate mean: keep the old centroid
+            const double inv = 1.0 / std::sqrt(normSq);
+            float *out = &centroids[c * dim_];
+            for (std::size_t d = 0; d < dim_; ++d)
+                out[d] = static_cast<float>(sum[d] * inv);
+        }
+        for (std::size_t c = 0; c < nlist; ++c) {
+            if (counts[c] != 0)
+                continue;
+            // Steal the row that fits its current centroid worst.
+            std::size_t worst = sample.size();
+            for (std::size_t s = 0; s < sample.size(); ++s) {
+                if (counts[assign[s]] <= 1)
+                    continue; // don't empty another cluster
+                if (worst == sample.size() ||
+                    bestDot[s] < bestDot[worst])
+                    worst = s;
+            }
+            if (worst == sample.size())
+                break; // fewer distinct rows than clusters
+            --counts[assign[worst]];
+            assign[worst] = c;
+            counts[c] = 1;
+            bestDot[worst] = 2.0; // not stolen twice
+            std::memcpy(&centroids[c * dim_], sample[worst],
+                        dim_ * sizeof(float));
+        }
+    }
+
+    // Adopt the quantizer and re-bin every row.
+    centroids_ = std::move(centroids);
+    std::vector<List> old;
+    old.swap(lists_);
+    lists_.assign(nlist, List{});
+    trained_ = true;
+    for (const List &l : old) {
+        for (std::size_t p = 0; p < l.ids.size(); ++p) {
+            const float *row = &l.rows[p * dim_];
+            appendToList(assignList(row), l.ids[p], row);
+        }
+    }
+    ++trainings_;
+    insertsSinceTrain_ = 0;
+}
+
+void
+IvfIndex::maybeRetrain()
+{
+    if (config_.retrainThreshold <= 1.0)
+        return;
+    // Bound retrain frequency: at least a quarter of the index must
+    // have been inserted since the last training, so adversarial skew
+    // (e.g. every row identical) cannot retrain on every insert.
+    const std::size_t minInserts =
+        std::max(size() / 4, config_.nlist);
+    if (insertsSinceTrain_ < minInserts)
+        return;
+    std::size_t maxList = 0;
+    for (const List &l : lists_)
+        maxList = std::max(maxList, l.ids.size());
+    const double mean = static_cast<double>(size()) /
+        static_cast<double>(lists_.size());
+    if (static_cast<double>(maxList) > config_.retrainThreshold * mean)
+        train();
+}
+
+std::vector<std::size_t>
+IvfIndex::probeLists(const float *query) const
+{
+    const std::size_t nprobe =
+        std::min(config_.nprobe, lists_.size());
+    std::vector<std::size_t> order(lists_.size());
+    for (std::size_t c = 0; c < order.size(); ++c)
+        order[c] = c;
+    std::vector<double> scores(lists_.size());
+    for (std::size_t c = 0; c < lists_.size(); ++c)
+        scores[c] = dot(query, &centroids_[c * dim_], dim_);
+    std::partial_sort(order.begin(), order.begin() + nprobe, order.end(),
+                      [&scores](std::size_t a, std::size_t b) {
+                          if (scores[a] != scores[b])
+                              return scores[a] > scores[b];
+                          return a < b;
+                      });
+    order.resize(nprobe);
+    return order;
+}
+
+void
+IvfIndex::bestInList(const List &l, const float *query,
+                     Match &best, bool &found) const
+{
+    for (std::size_t p = 0; p < l.ids.size(); ++p) {
+        const double score = dot(query, &l.rows[p * dim_], dim_);
+        if (!found ||
+            idScoreBefore(l.ids[p], score, best.id, best.similarity)) {
+            best.id = l.ids[p];
+            best.similarity = score;
+            found = true;
+        }
+    }
+}
+
+Match
+IvfIndex::best(const Embedding &query) const
+{
+    if (!trained_)
+        return exactBest(query); // single-list exhaustive scan
+    Match result;
+    if (empty())
+        return result;
+    MODM_ASSERT(query.dim() == dim_, "ivf query: dimension mismatch");
+    const float *q = query.vec().data();
+    bool found = false;
+    for (const std::size_t c : probeLists(q))
+        bestInList(lists_[c], q, result, found);
+    if (!found) {
+        // Eviction churn can drain every probed list while others
+        // still hold rows; a non-empty index must return a real
+        // entry, so widen to the exhaustive scan.
+        return exactBest(query);
+    }
+    return result;
+}
+
+Match
+IvfIndex::exactBest(const Embedding &query) const
+{
+    Match result;
+    if (empty())
+        return result;
+    MODM_ASSERT(query.dim() == dim_, "ivf query: dimension mismatch");
+    const float *q = query.vec().data();
+    bool found = false;
+    for (const List &l : lists_)
+        bestInList(l, q, result, found);
+    return result;
+}
+
+std::vector<Match>
+IvfIndex::topK(const Embedding &query, std::size_t k) const
+{
+    std::vector<Match> result;
+    if (empty() || k == 0)
+        return result;
+    MODM_ASSERT(query.dim() == dim_, "ivf query: dimension mismatch");
+    const float *q = query.vec().data();
+
+    // Bounded selection, same shape as the flat scan: a heap of the k
+    // best (score, id) candidates seen so far, worst at the front.
+    const auto better = [](const Match &a, const Match &b) {
+        return idScoreBefore(a.id, a.similarity, b.id, b.similarity);
+    };
+    std::vector<Match> heap;
+    heap.reserve(k);
+    const auto offer = [&](std::uint64_t id, double score) {
+        const Match candidate{id, score};
+        if (heap.size() < k) {
+            heap.push_back(candidate);
+            std::push_heap(heap.begin(), heap.end(), better);
+        } else if (better(candidate, heap.front())) {
+            std::pop_heap(heap.begin(), heap.end(), better);
+            heap.back() = candidate;
+            std::push_heap(heap.begin(), heap.end(), better);
+        }
+    };
+    const auto scanList = [&](const List &l) {
+        for (std::size_t p = 0; p < l.ids.size(); ++p)
+            offer(l.ids[p], dot(q, &l.rows[p * dim_], dim_));
+    };
+
+    if (!trained_) {
+        for (const List &l : lists_)
+            scanList(l);
+    } else {
+        for (const std::size_t c : probeLists(q))
+            scanList(lists_[c]);
+        if (heap.empty()) {
+            // Every probed list was empty (eviction churn): widen to
+            // the exhaustive scan, matching best()'s fallback.
+            for (const List &l : lists_)
+                scanList(l);
+        }
+    }
+    std::sort(heap.begin(), heap.end(), better);
+    return heap;
+}
+
+bool
+IvfIndex::approximate() const
+{
+    return trained_ && std::min(config_.nprobe, lists_.size()) <
+        lists_.size();
+}
+
+void
+IvfIndex::clear()
+{
+    lists_.assign(1, List{});
+    centroids_.clear();
+    locator_.clear();
+    trained_ = false;
+    trainings_ = 0;
+    insertsSinceTrain_ = 0;
+}
+
+} // namespace modm::embedding

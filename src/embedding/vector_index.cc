@@ -1,0 +1,33 @@
+#include "src/embedding/vector_index.hh"
+
+#include "src/common/log.hh"
+#include "src/embedding/index.hh"
+#include "src/embedding/ivf_index.hh"
+
+namespace modm::embedding {
+
+const char *
+retrievalBackendName(RetrievalBackend kind)
+{
+    switch (kind) {
+      case RetrievalBackend::Flat:
+        return "Flat";
+      case RetrievalBackend::Ivf:
+        return "IVF";
+    }
+    panic("unknown RetrievalBackend");
+}
+
+std::unique_ptr<VectorIndex>
+makeVectorIndex(const RetrievalBackendConfig &config, std::size_t dim)
+{
+    switch (config.kind) {
+      case RetrievalBackend::Flat:
+        return std::make_unique<FlatIndex>(dim);
+      case RetrievalBackend::Ivf:
+        return std::make_unique<IvfIndex>(config, dim);
+    }
+    panic("unknown RetrievalBackend");
+}
+
+} // namespace modm::embedding

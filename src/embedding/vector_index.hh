@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Pluggable retrieval backends: the abstract VectorIndex interface the
+ * caches program against, plus the RetrievalBackendConfig knob that
+ * selects and tunes a concrete backend.
+ *
+ * MoDM's whole serving loop hinges on one hot path — cosine retrieval
+ * over the image/latent cache — so the backend is a first-class measured
+ * knob rather than an implementation detail. Two backends exist today:
+ *
+ *  - Flat (FlatIndex, index.hh): exact brute-force scan, optionally
+ *    sharded across the thread pool. Bit-for-bit the pre-refactor
+ *    CosineIndex behaviour; the default everywhere so existing figures
+ *    stay byte-identical.
+ *  - IVF (IvfIndex, ivf_index.hh): inverted-file approximate search
+ *    with deterministic seeded k-means coarse clustering and an nprobe
+ *    knob. Sub-linear scans at 100k-1M entries at a small recall cost.
+ *
+ * Every backend supports incremental insert/remove (the FIFO/LRU/
+ * Utility eviction policies need both) and is deterministic: equal
+ * construction sequences and equal queries yield equal results,
+ * machine-independently. Future backends (HNSW, PQ) drop in behind the
+ * same interface.
+ */
+
+#ifndef MODM_EMBEDDING_VECTOR_INDEX_HH
+#define MODM_EMBEDDING_VECTOR_INDEX_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/embedding/embedding.hh"
+
+namespace modm::embedding {
+
+/** One retrieval result. */
+struct Match
+{
+    std::uint64_t id = 0;
+    double similarity = -1.0;
+};
+
+/** Which retrieval backend a cache builds. */
+enum class RetrievalBackend
+{
+    Flat,  ///< exact brute-force scan (the default)
+    Ivf,   ///< inverted-file approximate search
+};
+
+/** Printable backend name. */
+const char *retrievalBackendName(RetrievalBackend kind);
+
+/** Backend selection plus the knobs the approximate backends expose. */
+struct RetrievalBackendConfig
+{
+    RetrievalBackend kind = RetrievalBackend::Flat;
+
+    /** IVF: number of coarse k-means clusters (inverted lists). */
+    std::size_t nlist = 64;
+    /** IVF: lists scanned per query; recall/latency knob. */
+    std::size_t nprobe = 8;
+    /**
+     * IVF: retrain the coarse quantizer when the largest list exceeds
+     * this multiple of the mean list size (insert/evict churn skews
+     * lists over time). <= 1 disables skew-triggered retraining.
+     */
+    double retrainThreshold = 3.0;
+    /** IVF: k-means seed (part of the experiment's determinism). */
+    std::uint64_t seed = 0x1f4a9ULL;
+    /**
+     * Caches compare approximate retrievals against an exhaustive scan
+     * and report recall@1 (quality attribution: an approximate hit may
+     * refine from a different cached image than the exact scan would
+     * pick). Costs one extra flat scan per lookup on approximate
+     * backends only; irrelevant for Flat, which is always exact.
+     */
+    bool trackRecall = true;
+};
+
+/**
+ * Abstract retrieval index over unit-norm embeddings, keyed by
+ * caller-assigned 64-bit ids. Implementations must order results by
+ * (similarity desc, deterministic tiebreak) and be reproducible from
+ * their construction sequence alone.
+ */
+class VectorIndex
+{
+  public:
+    virtual ~VectorIndex() = default;
+
+    /** Pre-allocate room for `rows` embeddings (bulk warm-up). */
+    virtual void reserve(std::size_t rows) = 0;
+
+    /** Insert an embedding under a fresh id; ids must be unique. */
+    virtual void insert(std::uint64_t id, const Embedding &embedding) = 0;
+
+    /** Remove an id; returns false when absent. */
+    virtual bool remove(std::uint64_t id) = 0;
+
+    /** True when the id is present. */
+    virtual bool contains(std::uint64_t id) const = 0;
+
+    /** Number of stored embeddings. */
+    virtual std::size_t size() const = 0;
+
+    /** True when empty. */
+    bool empty() const { return size() == 0; }
+
+    /**
+     * Best match for a query, or a Match with similarity -1 when the
+     * index is empty.
+     */
+    virtual Match best(const Embedding &query) const = 0;
+
+    /** Top-k matches ordered by decreasing similarity. */
+    virtual std::vector<Match> topK(const Embedding &query,
+                                    std::size_t k) const = 0;
+
+    /** Remove everything (keeps tuning state). */
+    virtual void clear() = 0;
+
+    /** True when best/topK may differ from an exhaustive scan. */
+    virtual bool approximate() const { return false; }
+
+    /**
+     * Exhaustive exact best match, regardless of backend — what recall
+     * accounting compares approximate results against. Exact backends
+     * alias best().
+     */
+    virtual Match exactBest(const Embedding &query) const
+    {
+        return best(query);
+    }
+
+    /**
+     * Scan parallelism hint: 1 = serial, 0 = match the global thread
+     * pool, N = that many shards. Backends without a sharded scan
+     * ignore it.
+     */
+    virtual void setParallelism(std::size_t threads) { (void)threads; }
+
+    /**
+     * Minimum index size before scans shard (sharded backends only);
+     * lower to 0 to force sharding on tiny indexes (property tests).
+     */
+    virtual void setParallelThreshold(std::size_t rows) { (void)rows; }
+};
+
+/**
+ * Build the configured backend for embeddings of dimension `dim`.
+ * Flat ignores every knob except the parallelism hints set later.
+ */
+std::unique_ptr<VectorIndex>
+makeVectorIndex(const RetrievalBackendConfig &config, std::size_t dim);
+
+} // namespace modm::embedding
+
+#endif // MODM_EMBEDDING_VECTOR_INDEX_HH

@@ -16,6 +16,7 @@
 #include "src/diffusion/model_spec.hh"
 #include "src/diffusion/sampler.hh"
 #include "src/embedding/encoder.hh"
+#include "src/embedding/vector_index.hh"
 #include "src/serving/k_decision.hh"
 #include "src/serving/monitor.hh"
 #include "src/serving/pid.hh"
@@ -65,6 +66,15 @@ struct ServingConfig
     std::size_t cacheCapacity = 10000;
     cache::EvictionPolicy cachePolicy = cache::EvictionPolicy::FIFO;
     AdmissionPolicy admission = AdmissionPolicy::CacheAll;
+
+    /**
+     * Retrieval backend for every cache this system builds (MoDM's
+     * image cache, Nirvana/Pinecone's text-keyed cache). The default
+     * exact flat scan keeps all published figures byte-identical; the
+     * IVF backend trades a little recall for sub-linear scans and is
+     * the exact-vs-approximate ablation axis.
+     */
+    embedding::RetrievalBackendConfig retrieval = {};
 
     /** Latent cache (Nirvana). */
     std::size_t latentCacheCapacity = 10000;

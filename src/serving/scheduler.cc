@@ -31,7 +31,8 @@ RequestScheduler::RequestScheduler(const ServingConfig &config)
       case SystemKind::MoDM:
         imageCache_ = std::make_unique<cache::ImageCache>(
             config.cacheCapacity, config.cachePolicy,
-            config.imageEncoder, config.seed ^ 0xcac4e5ULL);
+            config.imageEncoder, config.seed ^ 0xcac4e5ULL,
+            config.retrieval);
         break;
       case SystemKind::Pinecone: {
         // Pinecone serves the image cached under the most *textually*
@@ -43,13 +44,14 @@ RequestScheduler::RequestScheduler(const ServingConfig &config)
         thresholds.kValues = {0};
         latentCache_ = std::make_unique<cache::LatentCache>(
             config.cacheCapacity, config.largeModel.name, thresholds,
-            config.seed ^ 0xcac4e5ULL);
+            config.seed ^ 0xcac4e5ULL, config.retrieval);
         break;
       }
       case SystemKind::Nirvana:
         latentCache_ = std::make_unique<cache::LatentCache>(
             config.latentCacheCapacity, config.largeModel.name,
-            config.nirvana, config.seed ^ 0xcac4e5ULL);
+            config.nirvana, config.seed ^ 0xcac4e5ULL,
+            config.retrieval);
         break;
       case SystemKind::Vanilla:
       case SystemKind::StandaloneSmall:
@@ -72,6 +74,14 @@ RequestScheduler::classify(const workload::Request &request, double now)
                                      request.prompt.text);
     ++stats_.classified;
 
+    const auto recordRecall = [this](bool checked, bool agreed) {
+        if (!checked)
+            return;
+        ++stats_.retrievalChecked;
+        if (agreed)
+            ++stats_.retrievalAgreed;
+    };
+
     switch (kind_) {
       case SystemKind::Vanilla:
       case SystemKind::StandaloneSmall:
@@ -79,6 +89,7 @@ RequestScheduler::classify(const workload::Request &request, double now)
 
       case SystemKind::MoDM: {
         const auto result = imageCache_->retrieve(job.textEmbedding);
+        recordRecall(result.exactChecked, result.exactAgreed);
         if (result.found && kDecision_.isHit(result.similarity)) {
             job.hit = true;
             job.similarity = result.similarity;
@@ -93,6 +104,7 @@ RequestScheduler::classify(const workload::Request &request, double now)
 
       case SystemKind::Pinecone: {
         const auto hit = latentCache_->retrieve(job.textEmbedding);
+        recordRecall(hit.exactChecked, hit.exactAgreed);
         if (hit.found) {
             job.hit = true;
             job.direct = true;
@@ -107,6 +119,7 @@ RequestScheduler::classify(const workload::Request &request, double now)
 
       case SystemKind::Nirvana: {
         const auto hit = latentCache_->retrieve(job.textEmbedding);
+        recordRecall(hit.exactChecked, hit.exactAgreed);
         if (hit.found) {
             job.hit = true;
             job.similarity = hit.similarity;

@@ -55,6 +55,22 @@ struct SchedulerStats
     std::uint64_t misses = 0;
     std::uint64_t directReturns = 0;
     std::map<int, std::uint64_t> kCounts;
+    /**
+     * Retrievals compared against an exhaustive scan (approximate
+     * backends with recall tracking on; 0 under the exact default).
+     */
+    std::uint64_t retrievalChecked = 0;
+    /** Checked retrievals that returned the exact best entry. */
+    std::uint64_t retrievalAgreed = 0;
+
+    /** Observed recall@1; 1.0 when nothing was checked (exact). */
+    double recallAt1() const
+    {
+        return retrievalChecked == 0
+            ? 1.0
+            : static_cast<double>(retrievalAgreed) /
+                static_cast<double>(retrievalChecked);
+    }
 };
 
 /**

@@ -42,11 +42,12 @@ resultDigest(const ServingResult &result)
     };
 
     emit("n=%zu dur=%a tput=%a hit=%a energy=%a switches=%llu "
-         "cacheSize=%zu cacheBytes=%a\n",
+         "cacheSize=%zu cacheBytes=%a recall=%a recallChecked=%llu\n",
          result.metrics.count(), result.duration,
          result.throughputPerMin, result.hitRate, result.energyJ,
          static_cast<unsigned long long>(result.modelSwitches),
-         result.cacheSize, result.cacheBytes);
+         result.cacheSize, result.cacheBytes, result.retrievalRecallAt1,
+         static_cast<unsigned long long>(result.retrievalChecked));
     for (const auto &r : result.metrics.records()) {
         emit("r %llu %a %a %a %d %d %a %d %s\n",
              static_cast<unsigned long long>(r.promptId), r.arrival,
@@ -393,6 +394,8 @@ ServingSystem::run(const workload::Trace &trace)
     result_.duration = result_.metrics.lastCompletion();
     result_.throughputPerMin = result_.metrics.throughputPerMinute();
     result_.hitRate = result_.metrics.hitRate();
+    result_.retrievalRecallAt1 = scheduler_->stats().recallAt1();
+    result_.retrievalChecked = scheduler_->stats().retrievalChecked;
     result_.energyJ = cluster_.totalEnergyJ(result_.duration);
     result_.modelSwitches = cluster_.totalModelSwitches();
     result_.hitAges = scheduler_->hitAges();

@@ -49,6 +49,16 @@ struct ServingResult
     double throughputPerMin = 0.0;
     /** Cache hit rate. */
     double hitRate = 0.0;
+    /**
+     * Retrieval recall@1 vs an exhaustive scan: 1.0 under the exact
+     * Flat backend; under approximate backends, the fraction of
+     * checked lookups that returned the exact best entry (an
+     * approximate hit may refine from a different cached image, so
+     * quality deltas attribute to this number).
+     */
+    double retrievalRecallAt1 = 1.0;
+    /** Lookups behind retrievalRecallAt1 (0 under exact backends). */
+    std::uint64_t retrievalChecked = 0;
     /** Total cluster energy (compute + idle) in joules. */
     double energyJ = 0.0;
     /** Model switches across workers. */

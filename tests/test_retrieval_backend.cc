@@ -1,0 +1,443 @@
+/**
+ * @file
+ * Property tests for the pluggable retrieval-backend seam
+ * (vector_index.hh):
+ *
+ *  - FlatIndex must be bit-identical with the pre-refactor CosineIndex
+ *    scan: an in-test reference reimplements the original semantics
+ *    (double-accumulated dots, swap-with-last removal, results ordered
+ *    by similarity desc then insertion slot asc) and every FlatIndex
+ *    result — serial and sharded — must match it exactly.
+ *  - IvfIndex must be fully deterministic (equal build sequences give
+ *    equal centroids and equal query results) and must hold
+ *    recall@1 >= 0.95 at the default nprobe on clustered synthetic
+ *    embeddings, including under interleaved insert/evict churn.
+ *  - The backend seam itself: caches build the configured backend and
+ *    surface recall accounting; serving runs complete on either
+ *    backend with recall wired through to the result.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cache/image_cache.hh"
+#include "src/common/rng.hh"
+#include "src/diffusion/sampler.hh"
+#include "src/embedding/index.hh"
+#include "src/embedding/ivf_index.hh"
+#include "src/embedding/vector_index.hh"
+#include "src/serving/system.hh"
+#include "src/workload/generator.hh"
+
+namespace modm::embedding {
+namespace {
+
+// The historical name must keep compiling against the flat backend.
+static_assert(std::is_same_v<CosineIndex, FlatIndex>,
+              "CosineIndex must alias FlatIndex");
+
+/**
+ * Reference reimplementation of the pre-refactor CosineIndex: flat row
+ * storage, swap-with-last removal, serial scan accumulating each dot
+ * in double, results ordered by (similarity desc, slot asc). FlatIndex
+ * results must match this bit for bit.
+ */
+class ReferenceIndex
+{
+  public:
+    explicit ReferenceIndex(std::size_t dim) : dim_(dim) {}
+
+    void insert(std::uint64_t id, const Embedding &embedding)
+    {
+        slotOf_[id] = ids_.size();
+        ids_.push_back(id);
+        rows_.insert(rows_.end(), embedding.vec().begin(),
+                     embedding.vec().end());
+    }
+
+    void remove(std::uint64_t id)
+    {
+        const std::size_t slot = slotOf_.at(id);
+        const std::size_t last = ids_.size() - 1;
+        if (slot != last) {
+            std::memcpy(&rows_[slot * dim_], &rows_[last * dim_],
+                        dim_ * sizeof(float));
+            ids_[slot] = ids_[last];
+            slotOf_[ids_[slot]] = slot;
+        }
+        rows_.resize(last * dim_);
+        ids_.pop_back();
+        slotOf_.erase(id);
+    }
+
+    std::vector<Match> topK(const Embedding &query, std::size_t k) const
+    {
+        struct SlotScore
+        {
+            std::size_t slot;
+            double score;
+        };
+        std::vector<SlotScore> scored;
+        scored.reserve(ids_.size());
+        const float *q = query.vec().data();
+        for (std::size_t slot = 0; slot < ids_.size(); ++slot) {
+            double acc = 0.0;
+            const float *row = &rows_[slot * dim_];
+            for (std::size_t d = 0; d < dim_; ++d)
+                acc += static_cast<double>(q[d]) *
+                    static_cast<double>(row[d]);
+            scored.push_back({slot, acc});
+        }
+        std::sort(scored.begin(), scored.end(),
+                  [](const SlotScore &a, const SlotScore &b) {
+                      if (a.score != b.score)
+                          return a.score > b.score;
+                      return a.slot < b.slot;
+                  });
+        std::vector<Match> out;
+        for (std::size_t i = 0; i < std::min(k, scored.size()); ++i)
+            out.push_back({ids_[scored[i].slot], scored[i].score});
+        return out;
+    }
+
+    Match best(const Embedding &query) const
+    {
+        const auto top = topK(query, 1);
+        return top.empty() ? Match{} : top.front();
+    }
+
+    std::size_t size() const { return ids_.size(); }
+
+  private:
+    std::size_t dim_;
+    std::vector<float> rows_;
+    std::vector<std::uint64_t> ids_;
+    std::unordered_map<std::uint64_t, std::size_t> slotOf_;
+};
+
+void
+expectSameMatches(const std::vector<Match> &expected,
+                  const std::vector<Match> &actual, const char *what)
+{
+    ASSERT_EQ(expected.size(), actual.size()) << what;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(expected[i].id, actual[i].id) << what << " rank " << i;
+        EXPECT_EQ(expected[i].similarity, actual[i].similarity)
+            << what << " rank " << i;
+    }
+}
+
+TEST(FlatIndexSeam, BitIdenticalWithPreRefactorReference)
+{
+    constexpr std::size_t kDim = kEmbeddingDim;
+    constexpr std::size_t kK = 9;
+    Rng rng(2026);
+    ReferenceIndex reference(kDim);
+    FlatIndex flat(kDim);
+
+    // Interleave inserts and removals so swap-with-last permutes slots
+    // the same way in both; then every scan mode must agree exactly.
+    std::vector<std::uint64_t> live;
+    std::uint64_t nextId = 0;
+    for (std::size_t step = 0; step < 4000; ++step) {
+        if (live.size() > 64 && rng.bernoulli(0.35)) {
+            const std::size_t pick = rng.uniformInt(live.size());
+            const std::uint64_t id = live[pick];
+            live[pick] = live.back();
+            live.pop_back();
+            reference.remove(id);
+            ASSERT_TRUE(flat.remove(id));
+        } else {
+            const Embedding e(randomUnitVec(kDim, rng));
+            reference.insert(nextId, e);
+            flat.insert(nextId, e);
+            live.push_back(nextId);
+            ++nextId;
+        }
+    }
+    ASSERT_EQ(reference.size(), flat.size());
+
+    for (std::size_t q = 0; q < 40; ++q) {
+        const Embedding query(randomUnitVec(kDim, rng));
+        const auto expected = reference.topK(query, kK);
+        const auto expectedBest = reference.best(query);
+
+        flat.setParallelism(1);
+        expectSameMatches(expected, flat.topK(query, kK), "serial topK");
+        EXPECT_EQ(expectedBest.id, flat.best(query).id);
+        EXPECT_EQ(expectedBest.similarity, flat.best(query).similarity);
+
+        flat.setParallelThreshold(0);
+        for (const std::size_t shards :
+             {std::size_t{0}, std::size_t{3}, std::size_t{11}}) {
+            flat.setParallelism(shards);
+            expectSameMatches(expected, flat.topK(query, kK),
+                              "sharded topK");
+            const auto best = flat.best(query);
+            EXPECT_EQ(expectedBest.id, best.id) << shards;
+            EXPECT_EQ(expectedBest.similarity, best.similarity) << shards;
+        }
+        flat.setParallelism(1);
+        flat.setParallelThreshold(FlatIndex::kDefaultParallelThreshold);
+    }
+}
+
+/** Clustered synthetic embeddings: the regime CLIP vectors live in. */
+std::vector<Vec>
+makeCenters(std::size_t count, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Vec> centers;
+    for (std::size_t c = 0; c < count; ++c)
+        centers.push_back(randomUnitVec(kEmbeddingDim, rng));
+    return centers;
+}
+
+Embedding
+clusteredEmbedding(const std::vector<Vec> &centers, Rng &rng)
+{
+    const auto &center = centers[rng.uniformInt(centers.size())];
+    return Embedding(jitterUnitVec(center, 0.35, rng));
+}
+
+TEST(IvfIndexSeam, FullyDeterministicAcrossRebuilds)
+{
+    const auto centers = makeCenters(48, 5);
+    RetrievalBackendConfig config;
+    config.kind = RetrievalBackend::Ivf;
+
+    // Two indexes fed the identical insert/remove sequence must agree
+    // exactly on every query — centroids, list layout, tiebreaks, all
+    // of it a pure function of (sequence, seed).
+    IvfIndex a(config), b(config);
+    Rng rngA(77), rngB(77);
+    const auto feed = [&centers](IvfIndex &index, Rng &rng) {
+        std::uint64_t nextId = 0;
+        for (std::size_t step = 0; step < 3000; ++step) {
+            if (nextId > 400 && rng.bernoulli(0.3)) {
+                // Remove a pseudo-random live id (FIFO-ish window).
+                const std::uint64_t id = rng.uniformInt(nextId);
+                index.remove(id); // may be absent; both feeds agree
+            } else {
+                index.insert(nextId++, clusteredEmbedding(centers, rng));
+            }
+        }
+    };
+    feed(a, rngA);
+    feed(b, rngB);
+
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(a.trainings(), b.trainings());
+    EXPECT_TRUE(a.trained());
+
+    Rng qrng(123);
+    for (std::size_t q = 0; q < 60; ++q) {
+        const auto query = clusteredEmbedding(centers, qrng);
+        const auto bestA = a.best(query);
+        const auto bestB = b.best(query);
+        EXPECT_EQ(bestA.id, bestB.id);
+        EXPECT_EQ(bestA.similarity, bestB.similarity);
+        expectSameMatches(a.topK(query, 7), b.topK(query, 7),
+                          "ivf determinism topK");
+    }
+}
+
+TEST(IvfIndexSeam, RecallAtLeast95OnClusteredEmbeddings)
+{
+    const auto centers = makeCenters(64, 9);
+    RetrievalBackendConfig config;
+    config.kind = RetrievalBackend::Ivf; // default nlist/nprobe
+
+    IvfIndex ivf(config);
+    FlatIndex exact;
+    Rng rng(31);
+    for (std::uint64_t id = 0; id < 20000; ++id) {
+        const auto e = clusteredEmbedding(centers, rng);
+        ivf.insert(id, e);
+        exact.insert(id, e);
+    }
+    ASSERT_TRUE(ivf.trained());
+    ASSERT_TRUE(ivf.approximate());
+
+    std::size_t agreed = 0;
+    constexpr std::size_t kQueries = 500;
+    Rng qrng(47);
+    for (std::size_t q = 0; q < kQueries; ++q) {
+        const auto query = clusteredEmbedding(centers, qrng);
+        if (ivf.best(query).id == exact.best(query).id)
+            ++agreed;
+        // exactBest must agree with the flat truth on every query.
+        EXPECT_EQ(ivf.exactBest(query).id, exact.best(query).id);
+    }
+    const double recall =
+        static_cast<double>(agreed) / static_cast<double>(kQueries);
+    EXPECT_GE(recall, 0.95) << "recall@1 at default nprobe";
+}
+
+TEST(IvfIndexSeam, RecallHoldsUnderInsertEvictChurn)
+{
+    const auto centers = makeCenters(64, 13);
+    RetrievalBackendConfig config;
+    config.kind = RetrievalBackend::Ivf;
+
+    IvfIndex ivf(config);
+    FlatIndex exact;
+    Rng rng(91);
+    constexpr std::size_t kWindow = 6000;
+    constexpr std::size_t kOps = 20000;
+    std::size_t agreed = 0, checked = 0;
+    Rng qrng(17);
+    // FIFO eviction: the oldest id leaves as each new one arrives —
+    // exactly the churn MoDM's sliding-window cache applies.
+    for (std::uint64_t id = 0; id < kOps; ++id) {
+        const auto e = clusteredEmbedding(centers, rng);
+        ivf.insert(id, e);
+        exact.insert(id, e);
+        if (id >= kWindow) {
+            ASSERT_TRUE(ivf.remove(id - kWindow));
+            ASSERT_TRUE(exact.remove(id - kWindow));
+        }
+        if (id > kWindow && id % 40 == 0) {
+            const auto query = clusteredEmbedding(centers, qrng);
+            if (ivf.best(query).id == exact.best(query).id)
+                ++agreed;
+            ++checked;
+        }
+    }
+    ASSERT_EQ(ivf.size(), exact.size());
+    ASSERT_GT(checked, std::size_t{300});
+    const double recall =
+        static_cast<double>(agreed) / static_cast<double>(checked);
+    EXPECT_GE(recall, 0.95) << "recall@1 under churn, " << checked
+                            << " checks";
+}
+
+TEST(IvfIndexSeam, EmptyProbedListsWidenToExhaustiveScan)
+{
+    // Two far-apart clusters, every row of one of them evicted: a
+    // query near the drained cluster probes (mostly) empty lists, and
+    // a non-empty index must still return a live entry, never the
+    // Match{0, -1} sentinel.
+    const auto centers = makeCenters(2, 3);
+    RetrievalBackendConfig config;
+    config.kind = RetrievalBackend::Ivf;
+    config.nlist = 4;
+    config.nprobe = 1;
+    config.retrainThreshold = 0.0; // churn must not retrain it away
+
+    IvfIndex ivf(config);
+    Rng rng(7);
+    for (std::uint64_t id = 0; id < 40; ++id) {
+        const auto &center = centers[id % 2];
+        ivf.insert(id, Embedding(jitterUnitVec(center, 0.1, rng)));
+    }
+    ASSERT_TRUE(ivf.trained());
+    // Evict cluster 0 entirely (even ids).
+    for (std::uint64_t id = 0; id < 40; id += 2)
+        ASSERT_TRUE(ivf.remove(id));
+    ASSERT_EQ(ivf.size(), std::size_t{20});
+
+    Rng qrng(9);
+    const Embedding query(jitterUnitVec(centers[0], 0.05, qrng));
+    const auto best = ivf.best(query);
+    EXPECT_GT(best.similarity, -1.0);
+    EXPECT_TRUE(ivf.contains(best.id));
+    const auto top = ivf.topK(query, 5);
+    ASSERT_FALSE(top.empty());
+    for (const auto &m : top)
+        EXPECT_TRUE(ivf.contains(m.id));
+}
+
+TEST(VectorIndexFactory, BuildsConfiguredBackend)
+{
+    RetrievalBackendConfig flat;
+    auto f = makeVectorIndex(flat, kEmbeddingDim);
+    EXPECT_NE(dynamic_cast<FlatIndex *>(f.get()), nullptr);
+    EXPECT_FALSE(f->approximate());
+
+    RetrievalBackendConfig ivf;
+    ivf.kind = RetrievalBackend::Ivf;
+    auto i = makeVectorIndex(ivf, kEmbeddingDim);
+    EXPECT_NE(dynamic_cast<IvfIndex *>(i.get()), nullptr);
+    EXPECT_STREQ(retrievalBackendName(ivf.kind), "IVF");
+}
+
+} // namespace
+} // namespace modm::embedding
+
+namespace modm {
+namespace {
+
+/** The seam end to end: cache and serving layers honour the config. */
+TEST(RetrievalBackendSeam, ImageCacheTracksRecallOnIvfOnly)
+{
+    embedding::RetrievalBackendConfig ivf;
+    ivf.kind = embedding::RetrievalBackend::Ivf;
+    cache::ImageCache approx(4000, cache::EvictionPolicy::FIFO, {}, 1,
+                             ivf);
+    cache::ImageCache flat(4000, cache::EvictionPolicy::FIFO);
+
+    auto gen = workload::makeDiffusionDB(3);
+    diffusion::Sampler sampler(5);
+    embedding::TextEncoder text;
+    for (std::size_t i = 0; i < 2000; ++i) {
+        const auto img =
+            sampler.generate(diffusion::sd35Large(), gen->next(), 0.0);
+        approx.insert(img, 0.0);
+        flat.insert(img, 0.0);
+    }
+    std::uint64_t checked = 0;
+    for (std::size_t q = 0; q < 50; ++q) {
+        const auto p = gen->next();
+        const auto e =
+            text.encode(p.visualConcept, p.lexicalStyle, p.text);
+        const auto ra = approx.retrieve(e);
+        EXPECT_TRUE(ra.found);
+        if (ra.exactChecked)
+            ++checked;
+        const auto rf = flat.retrieve(e);
+        EXPECT_TRUE(rf.found);
+        EXPECT_FALSE(rf.exactChecked);
+    }
+    EXPECT_EQ(approx.stats().recallChecked, checked);
+    EXPECT_GT(checked, std::uint64_t{0});
+    EXPECT_EQ(flat.stats().recallChecked, std::uint64_t{0});
+}
+
+TEST(RetrievalBackendSeam, ServingRunsOnBothBackends)
+{
+    auto gen = workload::makeDiffusionDB(21);
+    std::vector<workload::Prompt> warm;
+    for (std::size_t i = 0; i < 600; ++i)
+        warm.push_back(gen->next());
+    const auto trace = workload::buildBatchTrace(*gen, 150);
+
+    const auto runWith = [&](embedding::RetrievalBackend kind) {
+        serving::ServingConfig config;
+        config.kind = serving::SystemKind::MoDM;
+        config.numWorkers = 2;
+        config.cacheCapacity = 600;
+        config.retrieval.kind = kind;
+        serving::ServingSystem system(config);
+        system.warmCache(warm);
+        return system.run(trace);
+    };
+
+    const auto flat = runWith(embedding::RetrievalBackend::Flat);
+    EXPECT_EQ(flat.retrievalChecked, std::uint64_t{0});
+    EXPECT_EQ(flat.retrievalRecallAt1, 1.0);
+
+    const auto ivf = runWith(embedding::RetrievalBackend::Ivf);
+    EXPECT_GT(ivf.retrievalChecked, std::uint64_t{0});
+    EXPECT_GE(ivf.retrievalRecallAt1, 0.0);
+    EXPECT_LE(ivf.retrievalRecallAt1, 1.0);
+    EXPECT_EQ(ivf.metrics.count(), flat.metrics.count());
+}
+
+} // namespace
+} // namespace modm
