@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Machine-readable perf snapshot: runs a pinned canonical sweep and
+ * emits BENCH_serving.json, so CI archives one comparable artifact per
+ * commit and the serving-performance trajectory is tracked across PRs
+ * instead of living in scrollback.
+ *
+ * The sweep is deliberately frozen — paper line-up on a DiffusionDB
+ * Poisson trace, one multi-node affinity cell, plus a retrieval
+ * microbench per backend — and versioned by the `schema` field; bump
+ * it when cells change so downstream tooling never compares
+ * incompatible snapshots. Serving metrics are virtual-time and
+ * bit-deterministic; the us/query retrieval column is wall time and is
+ * the only machine-dependent number in the file.
+ *
+ * Usage: bench_serving_json [output-path]   (default BENCH_serving.json)
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/sweep.hh"
+#include "src/embedding/vector_index.hh"
+
+using namespace modm;
+
+namespace {
+
+constexpr int kSchema = 1;
+constexpr std::size_t kWarm = 800;
+constexpr std::size_t kRequests = 2000;
+constexpr double kRatePerMin = 12.0;
+constexpr std::size_t kRetrievalRows = 4000;
+constexpr std::size_t kRetrievalQueries = 400;
+
+/** Wall-clock mean retrieval latency of a backend at the pinned size. */
+double
+measureUsPerQuery(const embedding::RetrievalBackendConfig &retrieval)
+{
+    auto gen = workload::makeDiffusionDB(7);
+    diffusion::Sampler sampler(11);
+    embedding::ImageEncoder image;
+    embedding::TextEncoder text;
+    auto index = embedding::makeVectorIndex(retrieval,
+                                            embedding::kEmbeddingDim);
+    index->reserve(kRetrievalRows);
+    for (std::size_t i = 0; i < kRetrievalRows; ++i) {
+        const auto img =
+            sampler.generate(diffusion::sd35Large(), gen->next(), 0.0);
+        index->insert(1 + i,
+                      image.encode(img.content, img.fidelity, img.id));
+    }
+    std::vector<embedding::Embedding> queries;
+    queries.reserve(kRetrievalQueries);
+    for (std::size_t q = 0; q < kRetrievalQueries; ++q) {
+        const auto p = gen->next();
+        queries.push_back(
+            text.encode(p.visualConcept, p.lexicalStyle, p.text));
+    }
+    double sink = 0.0;
+    const auto start = std::chrono::steady_clock::now();
+    for (const auto &q : queries)
+        sink += index->best(q).similarity;
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    if (sink == -1e30)
+        std::fprintf(stderr, "impossible\n");
+    return seconds * 1e6 / static_cast<double>(queries.size());
+}
+
+std::string
+num(double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    return buf;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string path =
+        argc > 1 ? argv[1] : "BENCH_serving.json";
+
+    baselines::PresetParams params;
+    params.numWorkers = 4;
+    params.cacheCapacity = 1200;
+
+    bench::SweepSpec spec;
+    spec.options.title = "BENCH_serving";
+    std::vector<double> cellRates; // parallel to spec.cells
+    const auto bundle = [] {
+        return bench::poissonBundle(bench::Dataset::DiffusionDB, kWarm,
+                                    kRequests, kRatePerMin);
+    };
+    for (const auto &system :
+         bench::paperLineup(diffusion::sd35Large(), params)) {
+        spec.add(system.name, system.config, bundle);
+        cellRates.push_back(kRatePerMin);
+    }
+    // One cluster cell so multi-node regressions show in the
+    // trajectory; it gets a doubled worker budget and arrival rate.
+    {
+        baselines::PresetParams cluster = params;
+        cluster.numWorkers = 8;
+        auto config = baselines::modm(diffusion::sd35Large(),
+                                      diffusion::sdxl(), cluster);
+        config.cluster.numNodes = 4;
+        config.cluster.routing = serving::RoutingPolicy::ConsistentHash;
+        spec.add("MoDM-SDXL/4node-affinity", config, [] {
+            return bench::poissonBundle(bench::Dataset::DiffusionDB,
+                                        kWarm, kRequests,
+                                        2.0 * kRatePerMin);
+        });
+        cellRates.push_back(2.0 * kRatePerMin);
+    }
+    const auto results = bench::runSweep(spec);
+
+    embedding::RetrievalBackendConfig flat;
+    embedding::RetrievalBackendConfig ivf;
+    ivf.kind = embedding::RetrievalBackend::Ivf;
+    const double flatUs = measureUsPerQuery(flat);
+    const double ivfUs = measureUsPerQuery(ivf);
+
+    FILE *out = std::fopen(path.c_str(), "w");
+    if (!out) {
+        std::fprintf(stderr, "cannot open %s for writing\n",
+                     path.c_str());
+        return 1;
+    }
+    std::fprintf(out, "{\n  \"schema\": %d,\n", kSchema);
+    std::fprintf(out,
+                 "  \"sweep\": {\"dataset\": \"DiffusionDB\", "
+                 "\"warm\": %zu, \"requests\": %zu},\n",
+                 kWarm, kRequests);
+    std::fprintf(out, "  \"serving\": [\n");
+    for (std::size_t i = 0; i < spec.cells.size(); ++i) {
+        const auto &r = results[i];
+        std::fprintf(
+            out,
+            "    {\"name\": \"%s\", \"rate_per_min\": %s, "
+            "\"throughput_per_min\": %s, "
+            "\"hit_rate\": %s, \"p50_latency_s\": %s, "
+            "\"p99_latency_s\": %s, \"recall_at1\": %s, "
+            "\"load_imbalance\": %s, \"num_nodes\": %zu}%s\n",
+            spec.cells[i].label.c_str(), num(cellRates[i]).c_str(),
+            num(r.throughputPerMin).c_str(), num(r.hitRate).c_str(),
+            num(r.metrics.latencyPercentile(50.0)).c_str(),
+            num(r.metrics.latencyPercentile(99.0)).c_str(),
+            num(r.retrievalRecallAt1).c_str(),
+            num(r.loadImbalance).c_str(), r.numNodes,
+            i + 1 < spec.cells.size() ? "," : "");
+    }
+    std::fprintf(out, "  ],\n");
+    std::fprintf(out,
+                 "  \"retrieval\": [\n"
+                 "    {\"backend\": \"Flat\", \"rows\": %zu, "
+                 "\"us_per_query\": %s},\n"
+                 "    {\"backend\": \"IVF\", \"rows\": %zu, "
+                 "\"us_per_query\": %s}\n  ]\n}\n",
+                 kRetrievalRows, num(flatUs).c_str(), kRetrievalRows,
+                 num(ivfUs).c_str());
+    std::fclose(out);
+    std::printf("wrote %s (%zu serving cells, 2 retrieval points)\n",
+                path.c_str(), spec.cells.size());
+    return 0;
+}

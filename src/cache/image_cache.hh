@@ -172,6 +172,13 @@ class ImageCache
         index_->setParallelThreshold(rows);
     }
 
+    /**
+     * Serving load in [0, 1], forwarded to the retrieval backend for
+     * load-adaptive search (IVF adaptiveNprobe); exact backends
+     * ignore it.
+     */
+    void setRetrievalLoad(double load) { index_->setLoadSignal(load); }
+
     /** The retrieval backend (exposed for tests and benchmarks). */
     const embedding::VectorIndex &index() const { return *index_; }
 

@@ -157,6 +157,13 @@ class LatentCache
         index_->setParallelism(threads);
     }
 
+    /**
+     * Serving load in [0, 1], forwarded to the retrieval backend for
+     * load-adaptive search (IVF adaptiveNprobe); exact backends
+     * ignore it.
+     */
+    void setRetrievalLoad(double load) { index_->setLoadSignal(load); }
+
     /** Lookups compared against an exhaustive scan (recall@1). */
     std::uint64_t recallChecked() const { return recallChecked_; }
 

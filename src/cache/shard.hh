@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Per-shard capacity accounting for partitioned caches.
+ *
+ * A multi-node deployment splits one logical cache budget (entry count
+ * or worker count) across N node-local shards. The split is a pure
+ * function of (total, shards, shard index) — never of runtime state —
+ * so any node can compute its own share and the shares always sum to
+ * the total: the first `total % shards` shards take one extra unit.
+ * Every share is clamped to at least 1 because both caches and worker
+ * pools reject zero capacity; an over-sharded budget (total < shards)
+ * therefore sums to `shards`, the minimum viable deployment.
+ */
+
+#ifndef MODM_CACHE_SHARD_HH
+#define MODM_CACHE_SHARD_HH
+
+#include <cstddef>
+
+#include "src/common/log.hh"
+
+namespace modm::cache {
+
+/** Shard `shard`'s share of a budget split across `shards` shards. */
+inline std::size_t
+shardCapacity(std::size_t total, std::size_t shards, std::size_t shard)
+{
+    MODM_ASSERT(shards > 0, "shardCapacity needs at least one shard");
+    MODM_ASSERT(shard < shards, "shard index %zu out of %zu", shard,
+                shards);
+    const std::size_t base = total / shards;
+    const std::size_t share = base + (shard < total % shards ? 1 : 0);
+    return share == 0 ? 1 : share;
+}
+
+} // namespace modm::cache
+
+#endif // MODM_CACHE_SHARD_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Memory-bounded telemetry collection via deterministic stride
+ * downsampling.
+ *
+ * Serving runs accumulate per-event telemetry (cache-hit ages,
+ * allocation snapshots) into plain vectors; at million-request trace
+ * scale those vectors become the experiment's memory ceiling.
+ * SampledVector caps retained samples at a configured bound: it keeps
+ * every element until the cap is hit, then halves the retained set and
+ * doubles its sampling stride — so the kept elements are always the
+ * original sequence at indexes 0, stride, 2*stride, ... This preserves
+ * coverage of the whole run (unlike head/tail truncation), is a pure
+ * function of (cap, push sequence) — no clocks, no RNG — and keeps
+ * sweep results bit-reproducible at any parallelism.
+ *
+ * A cap of 0 disables sampling entirely: every push is retained and
+ * behaviour is byte-identical to the plain vector it replaces (the
+ * serving default, so published figures do not change).
+ */
+
+#ifndef MODM_COMMON_SAMPLED_VECTOR_HH
+#define MODM_COMMON_SAMPLED_VECTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace modm {
+
+template <typename T>
+class SampledVector
+{
+  public:
+    /** @param cap Retained-sample bound; 0 keeps every sample. */
+    explicit SampledVector(std::size_t cap = 0) : cap_(cap) {}
+
+    /** Offer one sample; retained iff its index lands on the stride. */
+    void
+    push(const T &value)
+    {
+        const std::uint64_t index = seen_++;
+        if (index % stride_ != 0)
+            return;
+        items_.push_back(value);
+        if (cap_ != 0 && items_.size() > cap_)
+            thin();
+    }
+
+    /** Retained samples, in push order. */
+    const std::vector<T> &items() const { return items_; }
+
+    /** Move the retained samples out. */
+    std::vector<T> take() { return std::move(items_); }
+
+    /** Total samples offered (retained + dropped). */
+    std::uint64_t seen() const { return seen_; }
+
+    /** Current sampling stride (1 until the cap first binds). */
+    std::uint64_t stride() const { return stride_; }
+
+    /** Configured bound (0 = unbounded). */
+    std::size_t cap() const { return cap_; }
+
+  private:
+    void
+    thin()
+    {
+        // Keep every other retained sample: survivors are the original
+        // indexes divisible by the doubled stride.
+        std::size_t write = 0;
+        for (std::size_t read = 0; read < items_.size(); read += 2)
+            items_[write++] = items_[read];
+        items_.resize(write);
+        stride_ *= 2;
+    }
+
+    std::size_t cap_;
+    std::uint64_t stride_ = 1;
+    std::uint64_t seen_ = 0;
+    std::vector<T> items_;
+};
+
+} // namespace modm
+
+#endif // MODM_COMMON_SAMPLED_VECTOR_HH

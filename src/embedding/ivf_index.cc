@@ -266,11 +266,34 @@ IvfIndex::maybeRetrain()
         train();
 }
 
+void
+IvfIndex::setLoadSignal(double load)
+{
+    if (!config_.adaptiveNprobe)
+        return;
+    load_ = std::clamp(load, 0.0, 1.0);
+}
+
+std::size_t
+IvfIndex::effectiveNprobe() const
+{
+    if (!config_.adaptiveNprobe)
+        return config_.nprobe;
+    const std::size_t floor =
+        std::clamp<std::size_t>(config_.minNprobe, 1, config_.nprobe);
+    const double span =
+        static_cast<double>(config_.nprobe - floor);
+    // Linear shed: full nprobe when idle, the floor at saturation.
+    // floor() keeps the count monotone nonincreasing in load.
+    return floor + static_cast<std::size_t>(
+                       std::floor(span * (1.0 - load_) + 1e-9));
+}
+
 std::vector<std::size_t>
 IvfIndex::probeLists(const float *query) const
 {
     const std::size_t nprobe =
-        std::min(config_.nprobe, lists_.size());
+        std::min(effectiveNprobe(), lists_.size());
     std::vector<std::size_t> order(lists_.size());
     for (std::size_t c = 0; c < order.size(); ++c)
         order[c] = c;
@@ -390,7 +413,7 @@ IvfIndex::topK(const Embedding &query, std::size_t k) const
 bool
 IvfIndex::approximate() const
 {
-    return trained_ && std::min(config_.nprobe, lists_.size()) <
+    return trained_ && std::min(effectiveNprobe(), lists_.size()) <
         lists_.size();
 }
 

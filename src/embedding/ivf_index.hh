@@ -80,6 +80,19 @@ class IvfIndex final : public VectorIndex
     /** Exhaustive scan over every list (recall accounting). */
     Match exactBest(const Embedding &query) const override;
 
+    /**
+     * Serving load in [0, 1] for the adaptive probe scheduler; ignored
+     * unless config.adaptiveNprobe is set.
+     */
+    void setLoadSignal(double load) override;
+
+    /**
+     * Lists a query scans right now: the configured nprobe, linearly
+     * shed toward minNprobe as the load signal rises (monotone
+     * nonincreasing in load).
+     */
+    std::size_t effectiveNprobe() const;
+
     /** True once the coarse quantizer has been trained. */
     bool trained() const { return trained_; }
 
@@ -129,6 +142,8 @@ class IvfIndex final : public VectorIndex
 
     std::size_t dim_;
     RetrievalBackendConfig config_;
+    /** Latest monitor load signal (adaptive probe scheduling). */
+    double load_ = 0.0;
     bool trained_ = false;
     std::uint64_t trainings_ = 0;
     /** Inserts since the last training (bounds retrain frequency). */

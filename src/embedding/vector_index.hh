@@ -69,6 +69,18 @@ struct RetrievalBackendConfig
     /** IVF: k-means seed (part of the experiment's determinism). */
     std::uint64_t seed = 0x1f4a9ULL;
     /**
+     * IVF: adapt the probe count to the serving monitor's load signal
+     * (the ROADMAP's adaptive probe scheduler): at load 0 queries scan
+     * the configured nprobe lists, shedding linearly to minNprobe at
+     * saturation. Recall then degrades monotonically — probed lists at
+     * a higher load are always a prefix of those at a lower load — and
+     * deterministically, because the load signal itself is derived
+     * from deterministic per-period counters. Off by default.
+     */
+    bool adaptiveNprobe = false;
+    /** IVF: probe floor the adaptive scheduler never sheds below. */
+    std::size_t minNprobe = 1;
+    /**
      * Caches compare approximate retrievals against an exhaustive scan
      * and report recall@1 (quality attribution: an approximate hit may
      * refine from a different cached image than the exact scan would
@@ -145,6 +157,14 @@ class VectorIndex
      * lower to 0 to force sharding on tiny indexes (property tests).
      */
     virtual void setParallelThreshold(std::size_t rows) { (void)rows; }
+
+    /**
+     * Normalized serving load in [0, 1], fed by the monitor each
+     * period. Backends with load-adaptive search (IVF with
+     * adaptiveNprobe) shed work as load rises; everything else
+     * ignores it.
+     */
+    virtual void setLoadSignal(double load) { (void)load; }
 };
 
 /**

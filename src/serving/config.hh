@@ -20,6 +20,7 @@
 #include "src/serving/k_decision.hh"
 #include "src/serving/monitor.hh"
 #include "src/serving/pid.hh"
+#include "src/serving/router.hh"
 
 namespace modm::serving {
 
@@ -43,6 +44,39 @@ enum class AdmissionPolicy
     CacheLargeOnly,  ///< cache only large-model (cache-miss) images
 };
 
+/** How a multi-node deployment divides the cache budget. */
+enum class CachePartitioning
+{
+    /**
+     * Split the configured capacity across nodes (shardCapacity), so
+     * the cluster-wide entry budget stays constant as nodes scale —
+     * the regime where routing policy decides hit rate.
+     */
+    Sharded,
+    /** Give every node the full configured capacity. */
+    Replicated,
+};
+
+/** Printable partitioning name. */
+const char *cachePartitioningName(CachePartitioning partitioning);
+
+/**
+ * Cluster shape of a multi-node deployment: the serving front-end
+ * spreads requests over `numNodes` ServingNodes (each its own
+ * scheduler, cache shard, monitor, and worker-pool slice) per the
+ * routing policy. The default single node reproduces the original
+ * monolithic system byte-for-byte.
+ */
+struct ClusterTopology
+{
+    /** Serving nodes; workers are split evenly across them. */
+    std::size_t numNodes = 1;
+    /** How arriving requests pick a node. */
+    RoutingPolicy routing = RoutingPolicy::RoundRobin;
+    /** How the cache budget divides across nodes. */
+    CachePartitioning cachePartitioning = CachePartitioning::Sharded;
+};
+
 /** Full experiment configuration. */
 struct ServingConfig
 {
@@ -61,6 +95,14 @@ struct ServingConfig
     std::size_t numWorkers = 4;
     diffusion::GpuKind gpu = diffusion::GpuKind::A40;
     double idlePowerW = 60.0;
+
+    /**
+     * Multi-node topology: node count, request routing, and cache
+     * partitioning. numWorkers is the cluster-wide total, split across
+     * nodes; the default single node preserves the original monolithic
+     * behaviour exactly.
+     */
+    ClusterTopology cluster = {};
 
     /** Image cache (MoDM / Pinecone). */
     std::size_t cacheCapacity = 10000;
@@ -125,6 +167,16 @@ struct ServingConfig
 
     /** Keep (prompt, image) outputs for quality evaluation. */
     bool keepOutputs = false;
+
+    /**
+     * Bound on retained telemetry samples (ServingResult::hitAges and
+     * per-node allocation snapshots, each bounded separately): once a
+     * series exceeds the cap it is deterministically stride-downsampled
+     * (see SampledVector), keeping million-request traces
+     * memory-bounded. 0 (the default) retains every sample, preserving
+     * published figures byte-for-byte.
+     */
+    std::size_t maxTelemetrySamples = 0;
 
     /** Experiment seed. */
     std::uint64_t seed = 42;

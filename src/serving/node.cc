@@ -1,0 +1,364 @@
+#include "src/serving/node.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/log.hh"
+#include "src/serving/system.hh"
+
+namespace modm::serving {
+
+namespace {
+
+/** Profiled full-generation throughputs for the monitor. */
+MonitorConfig
+makeMonitorConfig(const ServingConfig &config)
+{
+    MonitorConfig mc;
+    mc.numWorkers = static_cast<int>(config.numWorkers);
+    mc.pLarge = config.largeModel.throughputPerMin(config.gpu);
+    mc.pSmall.clear();
+    for (const auto &m : config.smallModels)
+        mc.pSmall.push_back(m.throughputPerMin(config.gpu));
+    mc.totalSteps = config.largeModel.defaultSteps;
+    mc.mode = config.mode;
+    mc.pid = config.pid;
+    return mc;
+}
+
+} // namespace
+
+ServingNode::ServingNode(const ServingConfig &node_config,
+                         std::size_t node_id, sim::EventQueue &events,
+                         ClusterRunState &run, ServingResult &result)
+    : config_(node_config), id_(node_id), events_(events), run_(run),
+      result_(result),
+      lookahead_(config_.intakeLookahead
+                     ? config_.intakeLookahead
+                     : 4 * config_.numWorkers),
+      sampler_(config_.seed ^ 0x5a3b1e9cULL, config_.sampler,
+               config_.schedule),
+      scheduler_(std::make_unique<RequestScheduler>(config_)),
+      cluster_(config_.numWorkers, config_.gpu, config_.idlePowerW),
+      allocations_(config_.maxTelemetrySamples)
+{
+    MODM_ASSERT(!config_.smallModels.empty() ||
+                config_.kind != SystemKind::MoDM,
+                "MoDM needs at least one small model");
+    MODM_ASSERT(config_.kind != SystemKind::StandaloneSmall ||
+                !config_.smallModels.empty(),
+                "StandaloneSmall needs its model in smallModels");
+    if (config_.kind == SystemKind::MoDM)
+        monitor_ = std::make_unique<GlobalMonitor>(
+            makeMonitorConfig(config_));
+
+    // Static allocations for the baselines: Vanilla / Nirvana /
+    // Pinecone run everything on the large model; StandaloneSmall runs
+    // everything on the first small model.
+    switch (config_.kind) {
+      case SystemKind::MoDM:
+        allocation_ = monitor_->current();
+        break;
+      case SystemKind::Vanilla:
+      case SystemKind::Nirvana:
+      case SystemKind::Pinecone:
+        allocation_.numLarge = static_cast<int>(config_.numWorkers);
+        break;
+      case SystemKind::StandaloneSmall:
+        allocation_.numLarge = 0;
+        break;
+    }
+}
+
+void
+ServingNode::reserveWarm(std::size_t count)
+{
+    scheduler_->reserveCache(count);
+}
+
+void
+ServingNode::warm(const workload::Prompt &prompt)
+{
+    const auto image = sampler_.generate(config_.largeModel, prompt, 0.0);
+    const auto textEmb = scheduler_->textEncoder().encode(
+        prompt.visualConcept, prompt.lexicalStyle, prompt.text);
+    scheduler_->admitGenerated(image, textEmb, /*from_miss=*/true, 0.0);
+}
+
+void
+ServingNode::onArrival(const workload::Request &request)
+{
+    ++periodArrivals_;
+    ++assigned_;
+    intake_.push_back(request);
+    processIntake();
+    tryDispatch();
+}
+
+void
+ServingNode::scheduleMonitorTick()
+{
+    events_.schedule(config_.monitorPeriod,
+                     [this]() { onMonitorTick(); });
+}
+
+bool
+ServingNode::isLargeRole(std::size_t worker_index) const
+{
+    return static_cast<int>(worker_index) < allocation_.numLarge;
+}
+
+void
+ServingNode::processIntake()
+{
+    while (!intake_.empty() &&
+           largeQueue_.size() + smallQueue_.size() < lookahead_) {
+        const workload::Request request = intake_.front();
+        intake_.pop_front();
+        ClassifiedJob job = scheduler_->classify(request, events_.now());
+
+        if (job.hit) {
+            ++periodHits_;
+            if (job.k > 0)
+                ++periodKCounts_[job.k];
+        } else {
+            ++periodMisses_;
+        }
+
+        if (job.direct) {
+            completeDirect(job);
+            continue;
+        }
+        if (config_.kind == SystemKind::StandaloneSmall) {
+            // Single-small-model serving: every job runs on the small
+            // workers (there are no large ones).
+            smallQueue_.push_back(std::move(job));
+        } else if (!job.hit ||
+                   config_.kind == SystemKind::Nirvana) {
+            // Misses need the large model; Nirvana also refines its
+            // latents with the large model itself.
+            largeQueue_.push_back(std::move(job));
+        } else {
+            smallQueue_.push_back(std::move(job));
+        }
+    }
+}
+
+void
+ServingNode::completeDirect(const ClassifiedJob &job)
+{
+    const double start = events_.now();
+    const double finish = start + config_.retrievalLatency;
+    finishRequest(job, start, finish, ServeKind::DirectReturn, "-",
+                  &job.base);
+    ++completed_;
+    ++run_.completed;
+}
+
+void
+ServingNode::tryDispatch()
+{
+    const double now = events_.now();
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (std::size_t w = 0; w < cluster_.size(); ++w) {
+            sim::Worker &worker = cluster_.worker(w);
+            if (worker.busyAt(now))
+                continue;
+
+            const bool large = isLargeRole(w);
+            ClassifiedJob job;
+            bool haveJob = false;
+            bool useLarge = large;
+
+            if (large) {
+                if (!largeQueue_.empty()) {
+                    job = std::move(largeQueue_.front());
+                    largeQueue_.pop_front();
+                    haveJob = true;
+                } else if (!smallQueue_.empty() &&
+                           (config_.mode ==
+                                MonitorMode::QualityOptimized ||
+                            allocation_.numLarge ==
+                                static_cast<int>(cluster_.size()))) {
+                    // Quality-optimized mode serves cache hits with the
+                    // large model when capacity allows (paper Q.9); the
+                    // all-large corner also drains hits to avoid
+                    // stranding them.
+                    job = std::move(smallQueue_.front());
+                    smallQueue_.pop_front();
+                    haveJob = true;
+                }
+            } else if (!smallQueue_.empty()) {
+                job = std::move(smallQueue_.front());
+                smallQueue_.pop_front();
+                haveJob = true;
+            }
+            if (!haveJob)
+                continue;
+
+            // Bind the model at dispatch time: the monitor may change
+            // the small-model choice while this job is in flight.
+            const std::size_t smallIdx = allocation_.smallModelIndex;
+            const diffusion::ModelSpec &model = useLarge
+                ? config_.largeModel
+                : config_.smallModels[smallIdx];
+            // k counts skipped steps of the large model's T-step
+            // schedule; a refining model with a different step count
+            // (e.g. the 10-step Turbo distillate) runs the same
+            // *fraction* of its own schedule.
+            int steps = model.defaultSteps;
+            if (job.hit) {
+                const double remaining = 1.0 -
+                    static_cast<double>(job.k) /
+                        static_cast<double>(
+                            config_.largeModel.defaultSteps);
+                steps = std::max(
+                    1, static_cast<int>(std::lround(
+                           model.defaultSteps * remaining)));
+            }
+            const double finish = worker.startJob(model, steps, now);
+            const double dispatchTime = now;
+            // Capture by value; the job lives until the event fires.
+            auto jobPtr = std::make_shared<ClassifiedJob>(std::move(job));
+            events_.schedule(finish, [this, w, jobPtr, dispatchTime,
+                                      useLarge, smallIdx]() {
+                onJobComplete(w, *jobPtr, dispatchTime, useLarge,
+                              smallIdx);
+            });
+            progress = true;
+            processIntake(); // a freed lookahead slot admits a new job
+        }
+    }
+}
+
+void
+ServingNode::onJobComplete(std::size_t worker_index,
+                           const ClassifiedJob &job, double dispatch_time,
+                           bool used_large, std::size_t small_index)
+{
+    (void)worker_index;
+    const double now = events_.now();
+    const diffusion::ModelSpec &model = used_large
+        ? config_.largeModel
+        : config_.smallModels[small_index];
+
+    diffusion::Image image;
+    ServeKind kind;
+    if (job.hit) {
+        image = sampler_.refine(model, job.request.prompt, job.base,
+                                job.k, now);
+        kind = ServeKind::Refinement;
+    } else {
+        image = sampler_.generate(model, job.request.prompt, now);
+        kind = ServeKind::FullGeneration;
+    }
+
+    scheduler_->admitGenerated(image, job.textEmbedding, !job.hit, now);
+    finishRequest(job, dispatch_time, now, kind, model.name, &image);
+    ++completed_;
+    ++run_.completed;
+    processIntake();
+    tryDispatch();
+}
+
+void
+ServingNode::finishRequest(const ClassifiedJob &job, double start,
+                           double finish, ServeKind kind,
+                           const std::string &served_by,
+                           const diffusion::Image *image)
+{
+    RequestRecord record;
+    record.promptId = job.request.prompt.id;
+    record.arrival = job.request.arrival;
+    record.start = start;
+    record.finish = finish;
+    record.cacheHit = job.hit;
+    record.k = job.k;
+    record.similarity = job.similarity;
+    record.kind = kind;
+    record.servedBy = served_by;
+    result_.metrics.record(record);
+
+    if (config_.keepOutputs && image) {
+        result_.prompts.push_back(job.request.prompt);
+        result_.images.push_back(*image);
+    }
+}
+
+void
+ServingNode::onMonitorTick()
+{
+    if (config_.kind == SystemKind::MoDM) {
+        const std::uint64_t classified = periodHits_ + periodMisses_;
+        if (classified > 0) {
+            MonitorInputs inputs;
+            // Demand estimate: arrivals per minute, except under a
+            // saturating burst (all arrivals land in one period, e.g.
+            // the paper's timestamp-free throughput experiments) where
+            // the classification rate is the better load signal.
+            inputs.requestRate = std::max(
+                static_cast<double>(periodArrivals_),
+                static_cast<double>(classified)) *
+                60.0 / config_.monitorPeriod;
+            inputs.hitRate = static_cast<double>(periodHits_) /
+                static_cast<double>(classified);
+            for (const auto &[k, count] : periodKCounts_) {
+                inputs.kRates[k] = static_cast<double>(count) /
+                    static_cast<double>(std::max<std::uint64_t>(
+                        periodHits_, 1));
+            }
+            lastInputs_ = inputs;
+            haveInputs_ = true;
+        }
+        if (haveInputs_) {
+            allocation_ = monitor_->update(lastInputs_);
+            allocations_.push({events_.now(), allocation_.numLarge,
+                               allocation_.smallModelIndex, id_});
+            // Feed the measured load to the retrieval backend so an
+            // adaptive IVF index can shed probes under pressure (a
+            // no-op for exact backends and when the knob is off).
+            scheduler_->setRetrievalLoad(monitor_->load(lastInputs_));
+        }
+    }
+    periodArrivals_ = 0;
+    periodHits_ = 0;
+    periodMisses_ = 0;
+    periodKCounts_.clear();
+
+    if (run_.completed < run_.total) {
+        events_.scheduleAfter(config_.monitorPeriod,
+                              [this]() { onMonitorTick(); });
+        tryDispatch();
+    }
+}
+
+NodeStats
+ServingNode::stats(double duration) const
+{
+    NodeStats stats;
+    stats.node = id_;
+    stats.numWorkers = cluster_.size();
+    stats.assigned = assigned_;
+    stats.completed = completed_;
+    const auto &sched = scheduler_->stats();
+    stats.hits = sched.hits;
+    stats.misses = sched.misses;
+    stats.hitRate = sched.classified == 0
+        ? 0.0
+        : static_cast<double>(sched.hits) /
+            static_cast<double>(sched.classified);
+    if (const auto *cache = scheduler_->imageCache()) {
+        stats.cacheSize = cache->size();
+        stats.cacheBytes = cache->storedBytes();
+    } else if (const auto *latents = scheduler_->latentCache()) {
+        stats.cacheSize = latents->size();
+        stats.cacheBytes = latents->storedBytes();
+    }
+    stats.energyJ = cluster_.totalEnergyJ(duration);
+    stats.modelSwitches = cluster_.totalModelSwitches();
+    return stats;
+}
+
+} // namespace modm::serving

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * One serving node: the scheduler + caches + monitor + worker pool that
+ * used to be the whole monolithic ServingSystem, extracted so a
+ * front-end can run N of them against one shared discrete-event clock.
+ *
+ * A node owns everything request processing needs — classification
+ * queues, a cache shard, a GPU worker pool, and (for MoDM) a per-node
+ * global monitor reallocating that node's workers — and shares nothing
+ * with its siblings except the event queue, the run-completion ledger,
+ * and the result sink it records completions into. Routing decides
+ * which node sees a request; after that the node's behaviour is
+ * byte-identical to the original single-system code path, which is how
+ * a one-node cluster reproduces every published figure exactly.
+ */
+
+#ifndef MODM_SERVING_NODE_HH
+#define MODM_SERVING_NODE_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/sampled_vector.hh"
+#include "src/diffusion/sampler.hh"
+#include "src/serving/config.hh"
+#include "src/serving/metrics.hh"
+#include "src/serving/monitor.hh"
+#include "src/serving/scheduler.hh"
+#include "src/sim/cluster.hh"
+#include "src/sim/event_queue.hh"
+#include "src/workload/trace.hh"
+
+namespace modm::serving {
+
+struct ServingResult;
+
+/** Allocation decision at a point in time (for Fig. 10-style plots). */
+struct AllocationSnapshot
+{
+    double time = 0.0;
+    int numLarge = 0;
+    std::size_t smallModelIndex = 0;
+    /** Node whose monitor produced the snapshot (0 for one node). */
+    std::size_t node = 0;
+};
+
+/** Node-local aggregates reported into ServingResult::nodes. */
+struct NodeStats
+{
+    std::size_t node = 0;
+    /** Workers this node's pool holds. */
+    std::size_t numWorkers = 0;
+    /** Requests the router delivered to this node. */
+    std::uint64_t assigned = 0;
+    /** Requests this node completed. */
+    std::uint64_t completed = 0;
+    /** Scheduler cache hits / misses. */
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    /** Node-local hit rate (0 when nothing classified). */
+    double hitRate = 0.0;
+    /** Node cache shard occupancy. */
+    std::size_t cacheSize = 0;
+    double cacheBytes = 0.0;
+    /** Node pool energy over the run. */
+    double energyJ = 0.0;
+    std::uint64_t modelSwitches = 0;
+};
+
+/** Cross-node run ledger shared by every node of one experiment. */
+struct ClusterRunState
+{
+    std::size_t total = 0;
+    std::size_t completed = 0;
+};
+
+/**
+ * One serving node. Constructed by ServingSystem with a node-local
+ * config (worker slice, cache shard capacity, per-node seed) derived
+ * from the experiment config.
+ */
+class ServingNode
+{
+  public:
+    /**
+     * @param node_config Node-local configuration: numWorkers is this
+     *        node's worker slice and cacheCapacity its shard budget.
+     * @param node_id Node index within the cluster.
+     * @param events The cluster-shared virtual clock.
+     * @param run Cross-node completion ledger (monitor ticks stop when
+     *        the whole cluster finishes).
+     * @param result Shared sink for request records and outputs.
+     */
+    ServingNode(const ServingConfig &node_config, std::size_t node_id,
+                sim::EventQueue &events, ClusterRunState &run,
+                ServingResult &result);
+
+    /** Pre-size this node's cache for `count` warm admissions. */
+    void reserveWarm(std::size_t count);
+
+    /** Admit one warm-up prompt (full large-model generation at t=0). */
+    void warm(const workload::Prompt &prompt);
+
+    /** Deliver a routed request at its arrival event. */
+    void onArrival(const workload::Request &request);
+
+    /** Schedule this node's first monitor tick (call once per run). */
+    void scheduleMonitorTick();
+
+    /** Arrived-but-uncompleted requests (the routing load signal). */
+    std::size_t outstanding() const
+    {
+        return static_cast<std::size_t>(assigned_ - completed_);
+    }
+
+    /** Requests routed to this node so far. */
+    std::uint64_t assigned() const { return assigned_; }
+
+    /** Requests this node completed so far. */
+    std::uint64_t completedCount() const { return completed_; }
+
+    /** Node index. */
+    std::size_t id() const { return id_; }
+
+    /** Node-local configuration. */
+    const ServingConfig &config() const { return config_; }
+
+    /** The node's scheduler (exposed for tests and diagnostics). */
+    const RequestScheduler &scheduler() const { return *scheduler_; }
+
+    /** The node's worker pool. */
+    const sim::Cluster &cluster() const { return cluster_; }
+
+    /** Monitor allocation snapshots (bounded per config). */
+    const SampledVector<AllocationSnapshot> &allocations() const
+    {
+        return allocations_;
+    }
+
+    /** Node-local aggregates over a finished run. */
+    NodeStats stats(double duration) const;
+
+  private:
+    /** Move arrivals into classified queues while within lookahead. */
+    void processIntake();
+    /** Dispatch queued jobs to idle workers per current allocation. */
+    void tryDispatch();
+    /** Worker role under the current allocation. */
+    bool isLargeRole(std::size_t worker_index) const;
+    /** Handle a finished generation. */
+    void onJobComplete(std::size_t worker_index, const ClassifiedJob &job,
+                       double dispatch_time, bool used_large,
+                       std::size_t small_index);
+    /** Complete a direct (no-GPU) cache return. */
+    void completeDirect(const ClassifiedJob &job);
+    /** Monitor tick. */
+    void onMonitorTick();
+    /** Record outputs and metrics for a served request. */
+    void finishRequest(const ClassifiedJob &job, double start,
+                       double finish, ServeKind kind,
+                       const std::string &served_by,
+                       const diffusion::Image *image);
+
+    ServingConfig config_;
+    std::size_t id_;
+    sim::EventQueue &events_;
+    ClusterRunState &run_;
+    ServingResult &result_;
+
+    std::size_t lookahead_;
+    diffusion::Sampler sampler_;
+    std::unique_ptr<RequestScheduler> scheduler_;
+    std::unique_ptr<GlobalMonitor> monitor_;
+    sim::Cluster cluster_;
+
+    std::deque<workload::Request> intake_;   // arrived, unclassified
+    std::deque<ClassifiedJob> largeQueue_;   // needs the large model
+    std::deque<ClassifiedJob> smallQueue_;   // refinements for small
+
+    Allocation allocation_;
+    std::uint64_t assigned_ = 0;
+    std::uint64_t completed_ = 0;
+
+    // Per-monitor-period counters.
+    std::uint64_t periodArrivals_ = 0;
+    std::uint64_t periodHits_ = 0;
+    std::uint64_t periodMisses_ = 0;
+    std::map<int, std::uint64_t> periodKCounts_;
+    MonitorInputs lastInputs_;
+    bool haveInputs_ = false;
+
+    SampledVector<AllocationSnapshot> allocations_;
+};
+
+} // namespace modm::serving
+
+#endif // MODM_SERVING_NODE_HH

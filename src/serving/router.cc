@@ -1,0 +1,164 @@
+#include "src/serving/router.hh"
+
+#include <algorithm>
+
+#include "src/common/log.hh"
+#include "src/common/rng.hh"
+
+namespace modm::serving {
+
+const char *
+routingPolicyName(RoutingPolicy policy)
+{
+    switch (policy) {
+      case RoutingPolicy::RoundRobin:
+        return "round-robin";
+      case RoutingPolicy::ConsistentHash:
+        return "consistent-hash";
+      case RoutingPolicy::LeastOutstanding:
+        return "least-outstanding";
+    }
+    panic("unknown RoutingPolicy");
+}
+
+namespace {
+
+class RoundRobinRouter final : public Router
+{
+  public:
+    explicit RoundRobinRouter(std::size_t num_nodes) : nodes_(num_nodes)
+    {
+    }
+
+    std::size_t
+    route(const workload::Prompt &,
+          const std::vector<std::size_t> &) override
+    {
+        return next_++ % nodes_;
+    }
+
+    std::size_t
+    routeWarm(const workload::Prompt &prompt) override
+    {
+        return route(prompt, {});
+    }
+
+    std::size_t numNodes() const override { return nodes_; }
+
+  private:
+    std::size_t nodes_;
+    std::uint64_t next_ = 0;
+};
+
+/**
+ * Topic-affinity routing over a hash ring with virtual nodes. Each
+ * physical node owns kVirtualNodes ring points; a prompt hashes by
+ * topic and routes to the owner of the next ring point clockwise.
+ * Virtual nodes keep topic load roughly balanced, and the ring keeps
+ * topic->node assignment mostly stable as numNodes changes.
+ */
+class ConsistentHashRouter final : public Router
+{
+  public:
+    static constexpr std::size_t kVirtualNodes = 64;
+
+    ConsistentHashRouter(std::size_t num_nodes, std::uint64_t seed)
+        : nodes_(num_nodes), seed_(seed)
+    {
+        ring_.reserve(num_nodes * kVirtualNodes);
+        for (std::size_t n = 0; n < num_nodes; ++n) {
+            for (std::size_t v = 0; v < kVirtualNodes; ++v) {
+                const std::uint64_t point = mix64(
+                    seed_ ^ mix64(n * kVirtualNodes + v + 1));
+                ring_.push_back({point, n});
+            }
+        }
+        std::sort(ring_.begin(), ring_.end());
+    }
+
+    std::size_t
+    route(const workload::Prompt &prompt,
+          const std::vector<std::size_t> &) override
+    {
+        return routeWarm(prompt);
+    }
+
+    std::size_t
+    routeWarm(const workload::Prompt &prompt) override
+    {
+        const std::uint64_t key =
+            mix64(seed_ ^ (0x9e3779b97f4a7c15ULL +
+                           static_cast<std::uint64_t>(prompt.topicId)));
+        auto it = std::lower_bound(
+            ring_.begin(), ring_.end(),
+            std::make_pair(key, std::size_t{0}));
+        if (it == ring_.end())
+            it = ring_.begin(); // wrap around the ring
+        return it->second;
+    }
+
+    std::size_t numNodes() const override { return nodes_; }
+
+  private:
+    std::size_t nodes_;
+    std::uint64_t seed_;
+    std::vector<std::pair<std::uint64_t, std::size_t>> ring_;
+};
+
+class LeastOutstandingRouter final : public Router
+{
+  public:
+    explicit LeastOutstandingRouter(std::size_t num_nodes)
+        : nodes_(num_nodes)
+    {
+    }
+
+    std::size_t
+    route(const workload::Prompt &,
+          const std::vector<std::size_t> &outstanding) override
+    {
+        MODM_ASSERT(outstanding.size() == nodes_,
+                    "least-outstanding routing needs one count per node");
+        std::size_t best = 0;
+        for (std::size_t n = 1; n < nodes_; ++n) {
+            if (outstanding[n] < outstanding[best])
+                best = n;
+        }
+        return best;
+    }
+
+    std::size_t
+    routeWarm(const workload::Prompt &) override
+    {
+        // No load exists before the run; spread warm content evenly.
+        return warmNext_++ % nodes_;
+    }
+
+    std::size_t numNodes() const override { return nodes_; }
+
+    bool needsOutstanding() const override { return true; }
+
+  private:
+    std::size_t nodes_;
+    std::uint64_t warmNext_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Router>
+makeRouter(RoutingPolicy policy, std::size_t num_nodes,
+           std::uint64_t seed)
+{
+    MODM_ASSERT(num_nodes > 0, "router needs at least one node");
+    switch (policy) {
+      case RoutingPolicy::RoundRobin:
+        return std::make_unique<RoundRobinRouter>(num_nodes);
+      case RoutingPolicy::ConsistentHash:
+        return std::make_unique<ConsistentHashRouter>(num_nodes, seed);
+      case RoutingPolicy::LeastOutstanding:
+        return std::make_unique<LeastOutstandingRouter>(num_nodes);
+    }
+    panic("unknown RoutingPolicy");
+}
+
+} // namespace modm::serving

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Request routing across serving nodes.
+ *
+ * A multi-node deployment front-ends N ServingNodes (each a scheduler +
+ * cache shard + worker pool) with a Router that decides which node an
+ * arriving request lands on. Routing policy is a first-class, sweepable
+ * experiment axis because it decides cache hit rate: with sharded
+ * caches, a policy that scatters a topic's requests across nodes also
+ * scatters the cached content they could have hit.
+ *
+ * Policies:
+ *  - RoundRobin: cycle through nodes; perfect load spread, no cache
+ *    affinity (the hash-partitioned-cache strawman).
+ *  - ConsistentHash: hash the prompt's topic onto a virtual-node ring,
+ *    so one topic's requests — and therefore its cached images — pin
+ *    to one node (cache affinity). Ring structure keeps reassignment
+ *    minimal as the node count changes.
+ *  - LeastOutstanding: send each request to the node with the fewest
+ *    arrived-but-uncompleted requests (ties: lowest node index);
+ *    best load balance under skewed service times, no affinity.
+ *
+ * Every router is a pure function of (construction args, call
+ * sequence): identical traces route identically on any machine, which
+ * is what keeps multi-node sweeps bit-reproducible.
+ */
+
+#ifndef MODM_SERVING_ROUTER_HH
+#define MODM_SERVING_ROUTER_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/workload/prompt.hh"
+
+namespace modm::serving {
+
+/** Which routing policy the front-end uses. */
+enum class RoutingPolicy
+{
+    RoundRobin,        ///< cycle through nodes
+    ConsistentHash,    ///< topic-affinity via a hash ring
+    LeastOutstanding,  ///< fewest arrived-but-uncompleted requests
+};
+
+/** Printable policy name. */
+const char *routingPolicyName(RoutingPolicy policy);
+
+/**
+ * Abstract request router over a fixed set of nodes.
+ */
+class Router
+{
+  public:
+    virtual ~Router() = default;
+
+    /**
+     * Node for an arriving request. `outstanding[i]` is node i's
+     * arrived-but-uncompleted request count at the routing instant
+     * (stateless policies ignore it).
+     */
+    virtual std::size_t route(const workload::Prompt &prompt,
+                              const std::vector<std::size_t> &outstanding)
+        = 0;
+
+    /**
+     * Node for a warm-up prompt (pre-run cache population, no load to
+     * observe). Affinity policies hash exactly as route() does so warm
+     * content lands where later queries will; load-driven policies
+     * spread warm content round-robin.
+     */
+    virtual std::size_t routeWarm(const workload::Prompt &prompt) = 0;
+
+    /** Number of nodes routed over. */
+    virtual std::size_t numNodes() const = 0;
+
+    /**
+     * True when route() reads the outstanding counts. Stateless
+     * policies return false so the front-end skips snapshotting node
+     * state on every arrival (the hot path of million-request traces).
+     */
+    virtual bool needsOutstanding() const { return false; }
+};
+
+/**
+ * Build the configured policy over `num_nodes` nodes. The seed
+ * perturbs the ConsistentHash ring only (other policies are
+ * seed-free).
+ */
+std::unique_ptr<Router> makeRouter(RoutingPolicy policy,
+                                   std::size_t num_nodes,
+                                   std::uint64_t seed);
+
+} // namespace modm::serving
+
+#endif // MODM_SERVING_ROUTER_HH

@@ -22,10 +22,22 @@ systemKindName(SystemKind kind)
     panic("unknown SystemKind");
 }
 
+const char *
+cachePartitioningName(CachePartitioning partitioning)
+{
+    switch (partitioning) {
+      case CachePartitioning::Sharded:
+        return "sharded";
+      case CachePartitioning::Replicated:
+        return "replicated";
+    }
+    panic("unknown CachePartitioning");
+}
+
 RequestScheduler::RequestScheduler(const ServingConfig &config)
     : kind_(config.kind), pineconeThreshold_(config.pineconeThreshold),
       text_(config.textEncoder), kDecision_(config.kDecision),
-      admission_(config.admission)
+      admission_(config.admission), hitAges_(config.maxTelemetrySamples)
 {
     switch (kind_) {
       case SystemKind::MoDM:
@@ -96,7 +108,7 @@ RequestScheduler::classify(const workload::Request &request, double now)
             job.k = kDecision_.decide(result.similarity);
             job.base = imageCache_->entry(result.entryId).image;
             imageCache_->recordHit(result.entryId, now);
-            hitAges_.push_back(now - job.base.createdAt);
+            hitAges_.push(now - job.base.createdAt);
             ++stats_.kCounts[job.k];
         }
         break;
@@ -111,7 +123,7 @@ RequestScheduler::classify(const workload::Request &request, double now)
             job.similarity = hit.similarity;
             job.base = latentCache_->entry(hit.entryId).image;
             latentCache_->recordHit(hit.entryId);
-            hitAges_.push_back(now - job.base.createdAt);
+            hitAges_.push(now - job.base.createdAt);
             ++stats_.directReturns;
         }
         break;
@@ -126,7 +138,7 @@ RequestScheduler::classify(const workload::Request &request, double now)
             job.k = hit.k;
             job.base = latentCache_->entry(hit.entryId).image;
             latentCache_->recordHit(hit.entryId);
-            hitAges_.push_back(now - job.base.createdAt);
+            hitAges_.push(now - job.base.createdAt);
             ++stats_.kCounts[job.k];
         }
         break;
@@ -138,6 +150,15 @@ RequestScheduler::classify(const workload::Request &request, double now)
     else
         ++stats_.misses;
     return job;
+}
+
+void
+RequestScheduler::setRetrievalLoad(double load)
+{
+    if (imageCache_)
+        imageCache_->setRetrievalLoad(load);
+    if (latentCache_)
+        latentCache_->setRetrievalLoad(load);
 }
 
 void

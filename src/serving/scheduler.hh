@@ -19,6 +19,7 @@
 
 #include "src/cache/image_cache.hh"
 #include "src/cache/latent_cache.hh"
+#include "src/common/sampled_vector.hh"
 #include "src/diffusion/image.hh"
 #include "src/embedding/encoder.hh"
 #include "src/serving/config.hh"
@@ -136,9 +137,25 @@ class RequestScheduler
 
     /**
      * Ages (seconds between retrieval and the retrieved image's
-     * creation) of every cache hit — the Fig. 15 temporal-locality data.
+     * creation) of every cache hit — the Fig. 15 temporal-locality
+     * data. Bounded by ServingConfig::maxTelemetrySamples via
+     * deterministic stride downsampling (unbounded by default).
      */
-    const std::vector<double> &hitAges() const { return hitAges_; }
+    const std::vector<double> &hitAges() const
+    {
+        return hitAges_.items();
+    }
+
+    /** Total hit-age samples observed (retained + downsampled away). */
+    std::uint64_t hitAgesSeen() const { return hitAges_.seen(); }
+
+    /**
+     * Forward the monitor's normalized load signal to the retrieval
+     * backends, so an adaptive IVF index can shed probes under
+     * pressure. A no-op for exact backends and when
+     * RetrievalBackendConfig::adaptiveNprobe is off.
+     */
+    void setRetrievalLoad(double load);
 
   private:
     SystemKind kind_;
@@ -149,7 +166,7 @@ class RequestScheduler
     std::unique_ptr<cache::ImageCache> imageCache_;
     std::unique_ptr<cache::LatentCache> latentCache_;
     SchedulerStats stats_;
-    std::vector<double> hitAges_;
+    SampledVector<double> hitAges_;
 };
 
 } // namespace modm::serving

@@ -1,34 +1,14 @@
 #include "src/serving/system.hh"
 
 #include <algorithm>
-#include <cmath>
 #include <cstdio>
 #include <cstring>
 
+#include "src/cache/shard.hh"
 #include "src/common/log.hh"
 #include "src/common/rng.hh"
 
 namespace modm::serving {
-
-namespace {
-
-/** Profiled full-generation throughputs for the monitor. */
-MonitorConfig
-makeMonitorConfig(const ServingConfig &config)
-{
-    MonitorConfig mc;
-    mc.numWorkers = static_cast<int>(config.numWorkers);
-    mc.pLarge = config.largeModel.throughputPerMin(config.gpu);
-    mc.pSmall.clear();
-    for (const auto &m : config.smallModels)
-        mc.pSmall.push_back(m.throughputPerMin(config.gpu));
-    mc.totalSteps = config.largeModel.defaultSteps;
-    mc.mode = config.mode;
-    mc.pid = config.pid;
-    return mc;
-}
-
-} // namespace
 
 std::string
 resultDigest(const ServingResult &result)
@@ -40,6 +20,7 @@ resultDigest(const ServingResult &result)
         std::snprintf(buf, sizeof(buf), fmt, args...);
         out += buf;
     };
+    const bool multinode = result.numNodes > 1;
 
     emit("n=%zu dur=%a tput=%a hit=%a energy=%a switches=%llu "
          "cacheSize=%zu cacheBytes=%a recall=%a recallChecked=%llu\n",
@@ -54,10 +35,33 @@ resultDigest(const ServingResult &result)
              r.start, r.finish, r.cacheHit ? 1 : 0, r.k, r.similarity,
              static_cast<int>(r.kind), r.servedBy.c_str());
     }
-    for (const auto &a : result.allocations)
-        emit("a %a %d %zu\n", a.time, a.numLarge, a.smallModelIndex);
+    for (const auto &a : result.allocations) {
+        // Single-node digests keep the frozen pre-cluster line format.
+        if (multinode)
+            emit("a %a %d %zu @%zu\n", a.time, a.numLarge,
+                 a.smallModelIndex, a.node);
+        else
+            emit("a %a %d %zu\n", a.time, a.numLarge,
+                 a.smallModelIndex);
+    }
     for (const double age : result.hitAges)
         emit("h %a\n", age);
+    if (multinode) {
+        for (const auto &n : result.nodes) {
+            emit("N %zu workers=%zu assigned=%llu completed=%llu "
+                 "hits=%llu misses=%llu hit=%a cacheSize=%zu "
+                 "cacheBytes=%a energy=%a switches=%llu\n",
+                 n.node, n.numWorkers,
+                 static_cast<unsigned long long>(n.assigned),
+                 static_cast<unsigned long long>(n.completed),
+                 static_cast<unsigned long long>(n.hits),
+                 static_cast<unsigned long long>(n.misses), n.hitRate,
+                 n.cacheSize, n.cacheBytes, n.energyJ,
+                 static_cast<unsigned long long>(n.modelSwitches));
+        }
+        emit("nodes=%zu imbalance=%a spread=%a\n", result.numNodes,
+             result.loadImbalance, result.hitRateSpread);
+    }
     // Output images fold to a checksum of their content bit patterns.
     std::uint64_t imageHash = 0xcbf29ce484222325ULL;
     for (const auto &img : result.images) {
@@ -76,41 +80,38 @@ resultDigest(const ServingResult &result)
     return out;
 }
 
+ServingConfig
+ServingSystem::nodeConfig(std::size_t node) const
+{
+    const std::size_t nodes = config_.cluster.numNodes;
+    ServingConfig nc = config_;
+    nc.numWorkers = cache::shardCapacity(config_.numWorkers, nodes, node);
+    if (config_.cluster.cachePartitioning == CachePartitioning::Sharded) {
+        nc.cacheCapacity =
+            cache::shardCapacity(config_.cacheCapacity, nodes, node);
+        nc.latentCacheCapacity = cache::shardCapacity(
+            config_.latentCacheCapacity, nodes, node);
+    }
+    // Node 0 keeps the experiment seed so a one-node cluster is
+    // byte-identical to the pre-cluster monolith; siblings get
+    // decorrelated streams derived from it.
+    if (node > 0)
+        nc.seed = mix64(config_.seed ^ (0x6e0d5a17ULL + node));
+    return nc;
+}
+
 ServingSystem::ServingSystem(ServingConfig config)
     : config_(std::move(config)),
-      lookahead_(config_.intakeLookahead
-                     ? config_.intakeLookahead
-                     : 4 * config_.numWorkers),
-      sampler_(config_.seed ^ 0x5a3b1e9cULL, config_.sampler,
-               config_.schedule),
-      scheduler_(std::make_unique<RequestScheduler>(config_)),
-      cluster_(config_.numWorkers, config_.gpu, config_.idlePowerW)
+      router_(makeRouter(config_.cluster.routing,
+                         config_.cluster.numNodes,
+                         config_.seed ^ 0x40a73e5ULL))
 {
-    MODM_ASSERT(!config_.smallModels.empty() ||
-                config_.kind != SystemKind::MoDM,
-                "MoDM needs at least one small model");
-    MODM_ASSERT(config_.kind != SystemKind::StandaloneSmall ||
-                !config_.smallModels.empty(),
-                "StandaloneSmall needs its model in smallModels");
-    if (config_.kind == SystemKind::MoDM)
-        monitor_ = std::make_unique<GlobalMonitor>(
-            makeMonitorConfig(config_));
-
-    // Static allocations for the baselines: Vanilla / Nirvana /
-    // Pinecone run everything on the large model; StandaloneSmall runs
-    // everything on the first small model.
-    switch (config_.kind) {
-      case SystemKind::MoDM:
-        allocation_ = monitor_->current();
-        break;
-      case SystemKind::Vanilla:
-      case SystemKind::Nirvana:
-      case SystemKind::Pinecone:
-        allocation_.numLarge = static_cast<int>(config_.numWorkers);
-        break;
-      case SystemKind::StandaloneSmall:
-        allocation_.numLarge = 0;
-        break;
+    MODM_ASSERT(config_.cluster.numNodes > 0,
+                "cluster needs at least one node");
+    nodes_.reserve(config_.cluster.numNodes);
+    for (std::size_t n = 0; n < config_.cluster.numNodes; ++n) {
+        nodes_.push_back(std::make_unique<ServingNode>(
+            nodeConfig(n), n, events_, run_, result_));
     }
 }
 
@@ -118,243 +119,27 @@ void
 ServingSystem::warmCache(const std::vector<workload::Prompt> &prompts)
 {
     MODM_ASSERT(!ran_, "warmCache must precede run()");
-    scheduler_->reserveCache(prompts.size());
-    for (const auto &prompt : prompts) {
-        const auto image =
-            sampler_.generate(config_.largeModel, prompt, 0.0);
-        const auto textEmb = scheduler_->textEncoder().encode(
-            prompt.visualConcept, prompt.lexicalStyle, prompt.text);
-        scheduler_->admitGenerated(image, textEmb, /*from_miss=*/true,
-                                   0.0);
+    // Route everything first so each node reserves its exact share,
+    // then admit node by node (node-major keeps the one-node case in
+    // the original admission order).
+    std::vector<std::vector<const workload::Prompt *>> perNode(
+        nodes_.size());
+    for (const auto &prompt : prompts)
+        perNode[router_->routeWarm(prompt)].push_back(&prompt);
+    for (std::size_t n = 0; n < nodes_.size(); ++n) {
+        nodes_[n]->reserveWarm(perNode[n].size());
+        for (const workload::Prompt *prompt : perNode[n])
+            nodes_[n]->warm(*prompt);
     }
 }
 
-bool
-ServingSystem::isLargeRole(std::size_t worker_index) const
+std::vector<std::size_t>
+ServingSystem::outstandingSnapshot() const
 {
-    return static_cast<int>(worker_index) < allocation_.numLarge;
-}
-
-void
-ServingSystem::processIntake()
-{
-    while (!intake_.empty() &&
-           largeQueue_.size() + smallQueue_.size() < lookahead_) {
-        const workload::Request request = intake_.front();
-        intake_.pop_front();
-        ClassifiedJob job = scheduler_->classify(request, events_.now());
-
-        if (job.hit) {
-            ++periodHits_;
-            if (job.k > 0)
-                ++periodKCounts_[job.k];
-        } else {
-            ++periodMisses_;
-        }
-
-        if (job.direct) {
-            completeDirect(job);
-            continue;
-        }
-        if (config_.kind == SystemKind::StandaloneSmall) {
-            // Single-small-model serving: every job runs on the small
-            // workers (there are no large ones).
-            smallQueue_.push_back(std::move(job));
-        } else if (!job.hit ||
-                   config_.kind == SystemKind::Nirvana) {
-            // Misses need the large model; Nirvana also refines its
-            // latents with the large model itself.
-            largeQueue_.push_back(std::move(job));
-        } else {
-            smallQueue_.push_back(std::move(job));
-        }
-    }
-}
-
-void
-ServingSystem::completeDirect(const ClassifiedJob &job)
-{
-    const double start = events_.now();
-    const double finish = start + config_.retrievalLatency;
-    finishRequest(job, start, finish, ServeKind::DirectReturn, "-",
-                  &job.base);
-    ++completed_;
-}
-
-void
-ServingSystem::tryDispatch()
-{
-    const double now = events_.now();
-    bool progress = true;
-    while (progress) {
-        progress = false;
-        for (std::size_t w = 0; w < cluster_.size(); ++w) {
-            sim::Worker &worker = cluster_.worker(w);
-            if (worker.busyAt(now))
-                continue;
-
-            const bool large = isLargeRole(w);
-            ClassifiedJob job;
-            bool haveJob = false;
-            bool useLarge = large;
-
-            if (large) {
-                if (!largeQueue_.empty()) {
-                    job = std::move(largeQueue_.front());
-                    largeQueue_.pop_front();
-                    haveJob = true;
-                } else if (!smallQueue_.empty() &&
-                           (config_.mode ==
-                                MonitorMode::QualityOptimized ||
-                            allocation_.numLarge ==
-                                static_cast<int>(cluster_.size()))) {
-                    // Quality-optimized mode serves cache hits with the
-                    // large model when capacity allows (paper Q.9); the
-                    // all-large corner also drains hits to avoid
-                    // stranding them.
-                    job = std::move(smallQueue_.front());
-                    smallQueue_.pop_front();
-                    haveJob = true;
-                }
-            } else if (!smallQueue_.empty()) {
-                job = std::move(smallQueue_.front());
-                smallQueue_.pop_front();
-                haveJob = true;
-            }
-            if (!haveJob)
-                continue;
-
-            // Bind the model at dispatch time: the monitor may change
-            // the small-model choice while this job is in flight.
-            const std::size_t smallIdx = allocation_.smallModelIndex;
-            const diffusion::ModelSpec &model = useLarge
-                ? config_.largeModel
-                : config_.smallModels[smallIdx];
-            // k counts skipped steps of the large model's T-step
-            // schedule; a refining model with a different step count
-            // (e.g. the 10-step Turbo distillate) runs the same
-            // *fraction* of its own schedule.
-            int steps = model.defaultSteps;
-            if (job.hit) {
-                const double remaining = 1.0 -
-                    static_cast<double>(job.k) /
-                        static_cast<double>(
-                            config_.largeModel.defaultSteps);
-                steps = std::max(
-                    1, static_cast<int>(std::lround(
-                           model.defaultSteps * remaining)));
-            }
-            const double finish = worker.startJob(model, steps, now);
-            const double dispatchTime = now;
-            // Capture by value; the job lives until the event fires.
-            auto jobPtr = std::make_shared<ClassifiedJob>(std::move(job));
-            events_.schedule(finish, [this, w, jobPtr, dispatchTime,
-                                      useLarge, smallIdx]() {
-                onJobComplete(w, *jobPtr, dispatchTime, useLarge,
-                              smallIdx);
-            });
-            progress = true;
-            processIntake(); // a freed lookahead slot admits a new job
-        }
-    }
-}
-
-void
-ServingSystem::onJobComplete(std::size_t worker_index,
-                             const ClassifiedJob &job,
-                             double dispatch_time, bool used_large,
-                             std::size_t small_index)
-{
-    (void)worker_index;
-    const double now = events_.now();
-    const diffusion::ModelSpec &model = used_large
-        ? config_.largeModel
-        : config_.smallModels[small_index];
-
-    diffusion::Image image;
-    ServeKind kind;
-    if (job.hit) {
-        image = sampler_.refine(model, job.request.prompt, job.base,
-                                job.k, now);
-        kind = ServeKind::Refinement;
-    } else {
-        image = sampler_.generate(model, job.request.prompt, now);
-        kind = ServeKind::FullGeneration;
-    }
-
-    scheduler_->admitGenerated(image, job.textEmbedding, !job.hit, now);
-    finishRequest(job, dispatch_time, now, kind, model.name, &image);
-    ++completed_;
-    processIntake();
-    tryDispatch();
-}
-
-void
-ServingSystem::finishRequest(const ClassifiedJob &job, double start,
-                             double finish, ServeKind kind,
-                             const std::string &served_by,
-                             const diffusion::Image *image)
-{
-    RequestRecord record;
-    record.promptId = job.request.prompt.id;
-    record.arrival = job.request.arrival;
-    record.start = start;
-    record.finish = finish;
-    record.cacheHit = job.hit;
-    record.k = job.k;
-    record.similarity = job.similarity;
-    record.kind = kind;
-    record.servedBy = served_by;
-    result_.metrics.record(record);
-
-    if (config_.keepOutputs && image) {
-        result_.prompts.push_back(job.request.prompt);
-        result_.images.push_back(*image);
-    }
-}
-
-void
-ServingSystem::onMonitorTick()
-{
-    if (config_.kind == SystemKind::MoDM) {
-        const std::uint64_t classified = periodHits_ + periodMisses_;
-        if (classified > 0) {
-            MonitorInputs inputs;
-            // Demand estimate: arrivals per minute, except under a
-            // saturating burst (all arrivals land in one period, e.g.
-            // the paper's timestamp-free throughput experiments) where
-            // the classification rate is the better load signal.
-            inputs.requestRate = std::max(
-                static_cast<double>(periodArrivals_),
-                static_cast<double>(classified)) *
-                60.0 / config_.monitorPeriod;
-            inputs.hitRate = static_cast<double>(periodHits_) /
-                static_cast<double>(classified);
-            for (const auto &[k, count] : periodKCounts_) {
-                inputs.kRates[k] = static_cast<double>(count) /
-                    static_cast<double>(std::max<std::uint64_t>(
-                        periodHits_, 1));
-            }
-            lastInputs_ = inputs;
-            haveInputs_ = true;
-        }
-        if (haveInputs_) {
-            allocation_ = monitor_->update(lastInputs_);
-            result_.allocations.push_back(
-                {events_.now(), allocation_.numLarge,
-                 allocation_.smallModelIndex});
-        }
-    }
-    periodArrivals_ = 0;
-    periodHits_ = 0;
-    periodMisses_ = 0;
-    periodKCounts_.clear();
-
-    if (completed_ < total_) {
-        events_.scheduleAfter(config_.monitorPeriod,
-                              [this]() { onMonitorTick(); });
-        tryDispatch();
-    }
+    std::vector<std::size_t> outstanding(nodes_.size());
+    for (std::size_t n = 0; n < nodes_.size(); ++n)
+        outstanding[n] = nodes_[n]->outstanding();
+    return outstanding;
 }
 
 ServingResult
@@ -369,43 +154,92 @@ ServingSystem::run(const workload::Trace &trace)
                                }),
                 "trace arrivals must be non-decreasing");
 
-    total_ = trace.size();
+    run_.total = trace.size();
     if (config_.keepOutputs) {
-        result_.prompts.reserve(total_);
-        result_.images.reserve(total_);
+        result_.prompts.reserve(run_.total);
+        result_.images.reserve(run_.total);
     }
 
     for (const auto &request : trace) {
         events_.schedule(request.arrival, [this, request]() {
-            ++periodArrivals_;
-            intake_.push_back(request);
-            processIntake();
-            tryDispatch();
+            // Snapshot node state only for policies that read it; the
+            // stateless ones keep the arrival path allocation-free.
+            const std::size_t n = router_->needsOutstanding()
+                ? router_->route(request.prompt, outstandingSnapshot())
+                : router_->route(request.prompt, {});
+            nodes_[n]->onArrival(request);
         });
     }
-    events_.schedule(config_.monitorPeriod,
-                     [this]() { onMonitorTick(); });
+    for (auto &node : nodes_)
+        node->scheduleMonitorTick();
 
     events_.runAll();
-    MODM_ASSERT(completed_ == total_,
+    MODM_ASSERT(run_.completed == run_.total,
                 "simulation ended with %zu of %zu requests served",
-                completed_, total_);
+                run_.completed, run_.total);
 
     result_.duration = result_.metrics.lastCompletion();
     result_.throughputPerMin = result_.metrics.throughputPerMinute();
     result_.hitRate = result_.metrics.hitRate();
-    result_.retrievalRecallAt1 = scheduler_->stats().recallAt1();
-    result_.retrievalChecked = scheduler_->stats().retrievalChecked;
-    result_.energyJ = cluster_.totalEnergyJ(result_.duration);
-    result_.modelSwitches = cluster_.totalModelSwitches();
-    result_.hitAges = scheduler_->hitAges();
-    if (const auto *cache = scheduler_->imageCache()) {
-        result_.cacheSize = cache->size();
-        result_.cacheBytes = cache->storedBytes();
-    } else if (const auto *latents = scheduler_->latentCache()) {
-        result_.cacheSize = latents->size();
-        result_.cacheBytes = latents->storedBytes();
+
+    std::uint64_t checked = 0;
+    std::uint64_t agreed = 0;
+    result_.energyJ = 0.0;
+    result_.modelSwitches = 0;
+    result_.cacheSize = 0;
+    result_.cacheBytes = 0.0;
+    result_.numNodes = nodes_.size();
+    result_.nodes.clear();
+    result_.nodes.reserve(nodes_.size());
+    for (const auto &node : nodes_) {
+        const auto &stats = node->scheduler().stats();
+        checked += stats.retrievalChecked;
+        agreed += stats.retrievalAgreed;
+        for (const double age : node->scheduler().hitAges())
+            result_.hitAges.push_back(age);
+        NodeStats ns = node->stats(result_.duration);
+        result_.energyJ += ns.energyJ;
+        result_.modelSwitches += ns.modelSwitches;
+        result_.cacheSize += ns.cacheSize;
+        result_.cacheBytes += ns.cacheBytes;
+        result_.nodes.push_back(ns);
     }
+    result_.retrievalChecked = checked;
+    result_.retrievalRecallAt1 = checked == 0
+        ? 1.0
+        : static_cast<double>(agreed) / static_cast<double>(checked);
+
+    // Time-ordered allocation history across nodes: concatenate
+    // node-major (each node's snapshots are already chronological),
+    // then stable-sort by time so simultaneous ticks order by node.
+    result_.allocations.clear();
+    for (const auto &node : nodes_) {
+        for (const auto &snap : node->allocations().items())
+            result_.allocations.push_back(snap);
+    }
+    std::stable_sort(result_.allocations.begin(),
+                     result_.allocations.end(),
+                     [](const AllocationSnapshot &a,
+                        const AllocationSnapshot &b) {
+                         return a.time < b.time;
+                     });
+
+    // Cross-node balance metrics.
+    std::uint64_t maxCompleted = 0;
+    double minHit = 1.0;
+    double maxHit = 0.0;
+    for (const auto &ns : result_.nodes) {
+        maxCompleted = std::max(maxCompleted, ns.completed);
+        minHit = std::min(minHit, ns.hitRate);
+        maxHit = std::max(maxHit, ns.hitRate);
+    }
+    const double meanCompleted = static_cast<double>(run_.completed) /
+        static_cast<double>(nodes_.size());
+    result_.loadImbalance = meanCompleted > 0.0
+        ? static_cast<double>(maxCompleted) / meanCompleted
+        : 1.0;
+    result_.hitRateSpread = nodes_.size() > 1 ? maxHit - minHit : 0.0;
+
     return std::move(result_);
 }
 

@@ -1,42 +1,36 @@
 /**
  * @file
- * The end-to-end serving system: request scheduler + global monitor +
- * GPU workers wired onto the discrete-event simulator (paper Fig. 4).
+ * The serving front-end: one shared discrete-event clock, N serving
+ * nodes (scheduler + cache shard + monitor + worker pool each, see
+ * node.hh), and a pluggable request router deciding which node every
+ * arrival lands on (paper Fig. 4, generalized to a cluster).
  *
  * One ServingSystem instance runs one experiment: optionally warm the
- * cache, then replay a request trace to completion and return every
- * metric the paper reports. The same class executes MoDM and all four
- * baselines (selected by ServingConfig::kind), so comparisons differ
- * only in policy.
+ * caches, then replay a request trace to completion and return every
+ * metric the paper reports plus the cross-node aggregates (per-node
+ * hit rates, load imbalance) that only exist at numNodes > 1. The same
+ * class executes MoDM and all four baselines (selected by
+ * ServingConfig::kind), so comparisons differ only in policy — and at
+ * the default single node it reproduces the original monolithic system
+ * byte-for-byte (pinned by resultDigest in the test suite).
  */
 
 #ifndef MODM_SERVING_SYSTEM_HH
 #define MODM_SERVING_SYSTEM_HH
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "src/diffusion/sampler.hh"
 #include "src/serving/config.hh"
 #include "src/serving/metrics.hh"
-#include "src/serving/monitor.hh"
-#include "src/serving/scheduler.hh"
-#include "src/sim/cluster.hh"
+#include "src/serving/node.hh"
+#include "src/serving/router.hh"
 #include "src/sim/event_queue.hh"
 #include "src/workload/trace.hh"
 
 namespace modm::serving {
-
-/** Allocation decision at a point in time (for Fig. 10-style plots). */
-struct AllocationSnapshot
-{
-    double time = 0.0;
-    int numLarge = 0;
-    std::size_t smallModelIndex = 0;
-};
 
 /** Everything an experiment produces. */
 struct ServingResult
@@ -63,18 +57,30 @@ struct ServingResult
     double energyJ = 0.0;
     /** Model switches across workers. */
     std::uint64_t modelSwitches = 0;
-    /** Monitor decisions over time. */
+    /** Monitor decisions over time (all nodes, time-ordered). */
     std::vector<AllocationSnapshot> allocations;
-    /** Cache-hit retrieval ages (Fig. 15). */
+    /** Cache-hit retrieval ages (Fig. 15); node-major order. */
     std::vector<double> hitAges;
-    /** Final cache occupancy. */
+    /** Final cache occupancy, summed over node shards. */
     std::size_t cacheSize = 0;
-    /** Final cache bytes. */
+    /** Final cache bytes, summed over node shards. */
     double cacheBytes = 0.0;
     /** Served prompts (parallel to images; kept when keepOutputs). */
     std::vector<workload::Prompt> prompts;
     /** Output images (kept when keepOutputs). */
     std::vector<diffusion::Image> images;
+
+    /** Nodes the experiment ran with. */
+    std::size_t numNodes = 1;
+    /** Per-node aggregates (size numNodes). */
+    std::vector<NodeStats> nodes;
+    /**
+     * Completion imbalance: max over nodes of completed requests,
+     * divided by the per-node mean (1.0 = perfectly balanced).
+     */
+    double loadImbalance = 1.0;
+    /** Max minus min per-node hit rate (0 for one node). */
+    double hitRateSpread = 0.0;
 };
 
 /**
@@ -84,23 +90,28 @@ struct ServingResult
  * iff their digests are string-equal. This is what the serial-vs-
  * concurrent sweep property test (and the CI determinism diff) pin —
  * experiments must be reproducible from their config seed alone, no
- * matter which thread ran them.
+ * matter which thread ran them. Single-node digests keep the exact
+ * pre-cluster format (pinned against frozen hashes in the test suite);
+ * multi-node results append per-node lines and tag allocation
+ * snapshots with their node.
  */
 std::string resultDigest(const ServingResult &result);
 
 /**
- * The serving system.
+ * The serving front-end.
  */
 class ServingSystem
 {
   public:
-    /** Build scheduler, monitor, sampler, and cluster from config. */
+    /** Build router and nodes (with per-node shards) from config. */
     explicit ServingSystem(ServingConfig config);
 
     /**
-     * Pre-populate the cache with full large-model generations of the
-     * given prompts (the paper's warm-up phase). Must be called before
-     * run(). Warm images carry createdAt = 0.
+     * Pre-populate the node caches with full large-model generations
+     * of the given prompts (the paper's warm-up phase), routed with
+     * the same policy as live traffic so affinity-routed content lands
+     * where later queries will look. Must be called before run().
+     * Warm images carry createdAt = 0.
      */
     void warmCache(const std::vector<workload::Prompt> &prompts);
 
@@ -113,56 +124,35 @@ class ServingSystem
     /** Active configuration. */
     const ServingConfig &config() const { return config_; }
 
-    /** The scheduler (exposed for tests and diagnostics). */
-    const RequestScheduler &scheduler() const { return *scheduler_; }
+    /** Number of serving nodes. */
+    std::size_t numNodes() const { return nodes_.size(); }
+
+    /** Node access (exposed for tests and diagnostics). */
+    const ServingNode &node(std::size_t i) const { return *nodes_[i]; }
+
+    /** Node 0's scheduler (single-node tests and diagnostics). */
+    const RequestScheduler &scheduler() const
+    {
+        return nodes_.front()->scheduler();
+    }
+
+    /** The request router. */
+    const Router &router() const { return *router_; }
 
   private:
-    /** Move arrivals into classified queues while within lookahead. */
-    void processIntake();
-    /** Dispatch queued jobs to idle workers per current allocation. */
-    void tryDispatch();
-    /** Worker role under the current allocation. */
-    bool isLargeRole(std::size_t worker_index) const;
-    /** Handle a finished generation. */
-    void onJobComplete(std::size_t worker_index, const ClassifiedJob &job,
-                       double dispatch_time, bool used_large,
-                       std::size_t small_index);
-    /** Complete a direct (no-GPU) cache return. */
-    void completeDirect(const ClassifiedJob &job);
-    /** Monitor tick. */
-    void onMonitorTick();
-    /** Record outputs and metrics for a served request. */
-    void finishRequest(const ClassifiedJob &job, double start,
-                       double finish, ServeKind kind,
-                       const std::string &served_by,
-                       const diffusion::Image *image);
+    /** Node-local config: worker slice, cache shard, per-node seed. */
+    ServingConfig nodeConfig(std::size_t node) const;
+
+    /** Current per-node outstanding counts for the router. */
+    std::vector<std::size_t> outstandingSnapshot() const;
 
     ServingConfig config_;
-    std::size_t lookahead_;
-    diffusion::Sampler sampler_;
-    std::unique_ptr<RequestScheduler> scheduler_;
-    std::unique_ptr<GlobalMonitor> monitor_;
-    sim::Cluster cluster_;
     sim::EventQueue events_;
-
-    std::deque<workload::Request> intake_;   // arrived, unclassified
-    std::deque<ClassifiedJob> largeQueue_;   // needs the large model
-    std::deque<ClassifiedJob> smallQueue_;   // refinements for small
-
-    Allocation allocation_;
-    std::size_t completed_ = 0;
-    std::size_t total_ = 0;
-    bool ran_ = false;
-
-    // Per-monitor-period counters.
-    std::uint64_t periodArrivals_ = 0;
-    std::uint64_t periodHits_ = 0;
-    std::uint64_t periodMisses_ = 0;
-    std::map<int, std::uint64_t> periodKCounts_;
-    MonitorInputs lastInputs_;
-    bool haveInputs_ = false;
-
+    ClusterRunState run_;
     ServingResult result_;
+    std::unique_ptr<Router> router_;
+    std::vector<std::unique_ptr<ServingNode>> nodes_;
+    bool ran_ = false;
 };
 
 } // namespace modm::serving

@@ -1,0 +1,433 @@
+/**
+ * @file
+ * Multi-node serving tests: the router/node refactor's determinism
+ * contract and its cluster-scale behaviour.
+ *
+ *  - Frozen-digest regression: at numNodes=1 every system kind must
+ *    reproduce the pre-refactor monolithic ServingSystem byte for byte.
+ *    The FNV-64 hashes below were computed from resultDigest() on the
+ *    tree *before* the node extraction (PR 3 head); digests are
+ *    hex-float renderings of virtual-time state, so they are
+ *    machine-independent and any drift is a real behaviour change.
+ *  - Router properties: policy semantics, affinity, determinism.
+ *  - Sweep determinism: N-node experiments are share-nothing cells,
+ *    bit-identical at sweep parallelism 1 vs 4.
+ *  - The cluster story: with sharded caches at >= 4 nodes, affinity
+ *    routing recovers hit rate that round-robin loses.
+ *  - Bounded telemetry: maxTelemetrySamples caps hitAges/allocations
+ *    deterministically.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench/sweep.hh"
+#include "src/baselines/presets.hh"
+#include "src/cache/shard.hh"
+#include "src/common/sampled_vector.hh"
+#include "src/serving/router.hh"
+#include "src/serving/system.hh"
+
+namespace modm::serving {
+namespace {
+
+std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+bench::WorkloadBundle
+ddbBundle(std::size_t warm, std::size_t count, double rate,
+          std::uint64_t seed = 42)
+{
+    return bench::poissonBundle(bench::Dataset::DiffusionDB, warm,
+                                count, rate, seed);
+}
+
+baselines::PresetParams
+smallParams()
+{
+    baselines::PresetParams params;
+    params.numWorkers = 2;
+    params.cacheCapacity = 150;
+    return params;
+}
+
+workload::Prompt
+topicPrompt(std::uint32_t topic)
+{
+    workload::Prompt prompt;
+    prompt.topicId = topic;
+    return prompt;
+}
+
+/** Scoped MODM_SWEEP_* override (same shape as test_sweep.cc). */
+class ScopedSweepEnv
+{
+  public:
+    explicit ScopedSweepEnv(const char *parallelism)
+    {
+        save("MODM_SWEEP_PARALLELISM", parallelism);
+        save("MODM_SWEEP_PROGRESS", "0");
+    }
+    ~ScopedSweepEnv()
+    {
+        for (auto it = saved_.rbegin(); it != saved_.rend(); ++it) {
+            if (it->second.second)
+                setenv(it->first.c_str(), it->second.first.c_str(), 1);
+            else
+                unsetenv(it->first.c_str());
+        }
+    }
+
+  private:
+    void save(const char *name, const char *value)
+    {
+        const char *prev = std::getenv(name);
+        saved_.emplace_back(
+            name, std::make_pair(prev ? prev : "", prev != nullptr));
+        setenv(name, value, 1);
+    }
+
+    std::vector<std::pair<std::string, std::pair<std::string, bool>>>
+        saved_;
+};
+
+TEST(MultiNode, SingleNodeDigestsMatchPreRefactorBaseline)
+{
+    // Hashes frozen from the pre-node-extraction monolith. Every
+    // system kind (and the quality/admission variants the sweep
+    // property test exercises) must keep reproducing them at the
+    // default numNodes=1.
+    const auto params = smallParams();
+    const auto ddb = [] { return ddbBundle(120, 150, 12.0); };
+    const auto mjhq = [] {
+        return bench::batchBundle(bench::Dataset::MJHQ, 120, 150);
+    };
+
+    struct Pinned
+    {
+        const char *name;
+        ServingConfig config;
+        std::function<bench::WorkloadBundle()> bundle;
+        std::uint64_t digestHash;
+    };
+    std::vector<Pinned> pinned;
+    pinned.push_back({"vanilla",
+                      baselines::vanilla(diffusion::sd35Large(), params),
+                      ddb, 0x0eaa3a454f9e8ceeULL});
+    pinned.push_back({"nirvana",
+                      baselines::nirvana(diffusion::sd35Large(), params),
+                      ddb, 0xd7e98658ef742ec4ULL});
+    pinned.push_back({"pinecone",
+                      baselines::pinecone(diffusion::sd35Large(), params),
+                      mjhq, 0x301944914923fa0fULL});
+    pinned.push_back({"modm",
+                      baselines::modm(diffusion::sd35Large(),
+                                      diffusion::sdxl(), params),
+                      ddb, 0xde1026f0775fcef7ULL});
+    auto quality = baselines::modmMulti(
+        diffusion::sd35Large(), {diffusion::sdxl(), diffusion::sana()},
+        params);
+    quality.mode = MonitorMode::QualityOptimized;
+    quality.keepOutputs = true;
+    pinned.push_back({"modm-quality", quality, mjhq,
+                      0x742db2466fac78ceULL});
+    pinned.push_back({"standalone",
+                      baselines::standalone(diffusion::sana(), params),
+                      ddb, 0xae340955efc7bca8ULL});
+    auto cacheLarge = baselines::modm(diffusion::sd35Large(),
+                                      diffusion::sana(), params);
+    cacheLarge.admission = AdmissionPolicy::CacheLargeOnly;
+    pinned.push_back({"modm-cachelarge", cacheLarge, ddb,
+                      0xefa1b0937d9af03aULL});
+
+    for (const auto &cell : pinned) {
+        const auto result = bench::runSystem(cell.config, cell.bundle());
+        EXPECT_EQ(result.numNodes, 1u);
+        EXPECT_EQ(fnv1a(resultDigest(result)), cell.digestHash)
+            << cell.name
+            << " diverged from the pre-refactor monolith";
+    }
+}
+
+TEST(Router, RoundRobinCycles)
+{
+    auto router = makeRouter(RoutingPolicy::RoundRobin, 3, 42);
+    const std::vector<std::size_t> outstanding(3, 0);
+    for (std::size_t i = 0; i < 9; ++i)
+        EXPECT_EQ(router->route(topicPrompt(7), outstanding), i % 3);
+}
+
+TEST(Router, ConsistentHashIsAffineAndDeterministic)
+{
+    auto a = makeRouter(RoutingPolicy::ConsistentHash, 4, 42);
+    auto b = makeRouter(RoutingPolicy::ConsistentHash, 4, 42);
+    const std::vector<std::size_t> outstanding(4, 0);
+    std::set<std::size_t> used;
+    for (std::uint32_t topic = 0; topic < 200; ++topic) {
+        const auto node = a->route(topicPrompt(topic), outstanding);
+        // Same topic, same node — on every call, on every instance,
+        // and for warm routing too (cache affinity).
+        EXPECT_EQ(a->route(topicPrompt(topic), outstanding), node);
+        EXPECT_EQ(b->route(topicPrompt(topic), outstanding), node);
+        EXPECT_EQ(a->routeWarm(topicPrompt(topic)), node);
+        used.insert(node);
+    }
+    // Virtual nodes spread 200 topics over every physical node.
+    EXPECT_EQ(used.size(), 4u);
+}
+
+TEST(Router, LeastOutstandingPicksMinWithLowestIndexTie)
+{
+    auto router = makeRouter(RoutingPolicy::LeastOutstanding, 4, 42);
+    EXPECT_EQ(router->route(topicPrompt(0), {3, 1, 2, 1}), 1u);
+    EXPECT_EQ(router->route(topicPrompt(0), {0, 0, 0, 0}), 0u);
+    EXPECT_EQ(router->route(topicPrompt(0), {5, 4, 3, 2}), 3u);
+    // Warm routing spreads round-robin (no load exists yet).
+    for (std::size_t i = 0; i < 8; ++i)
+        EXPECT_EQ(router->routeWarm(topicPrompt(9)), i % 4);
+}
+
+TEST(ShardCapacity, SplitsExactlyAndClampsToOne)
+{
+    for (const std::size_t total : {std::size_t{8}, std::size_t{1201},
+                                    std::size_t{10000}}) {
+        for (const std::size_t shards :
+             {std::size_t{1}, std::size_t{3}, std::size_t{8}}) {
+            std::size_t sum = 0;
+            std::size_t prev = cache::shardCapacity(total, shards, 0);
+            for (std::size_t s = 0; s < shards; ++s) {
+                const std::size_t share =
+                    cache::shardCapacity(total, shards, s);
+                EXPECT_LE(share, prev); // earlier shards take the rest
+                sum += share;
+                prev = share;
+            }
+            EXPECT_EQ(sum, total);
+        }
+    }
+    // Over-sharded budgets clamp each share to a viable minimum.
+    EXPECT_EQ(cache::shardCapacity(2, 4, 3), 1u);
+}
+
+TEST(SampledVector, UnboundedKeepsEverySample)
+{
+    SampledVector<int> samples(0);
+    for (int i = 0; i < 1000; ++i)
+        samples.push(i);
+    ASSERT_EQ(samples.items().size(), 1000u);
+    EXPECT_EQ(samples.stride(), 1u);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(samples.items()[i], i);
+}
+
+TEST(SampledVector, CapOfOneDegradesToFirstSample)
+{
+    SampledVector<int> samples(1);
+    for (int i = 0; i < 5000; ++i)
+        samples.push(i);
+    ASSERT_EQ(samples.items().size(), 1u);
+    EXPECT_EQ(samples.items()[0], 0);
+    EXPECT_EQ(samples.seen(), 5000u);
+}
+
+TEST(SampledVector, CapBindsWithStrideDownsampling)
+{
+    SampledVector<int> samples(64);
+    for (int i = 0; i < 100000; ++i)
+        samples.push(i);
+    EXPECT_LE(samples.items().size(), 64u);
+    EXPECT_GE(samples.items().size(), 32u); // thinning halves, not empties
+    EXPECT_EQ(samples.seen(), 100000u);
+    // Retained values are exactly the multiples of the final stride.
+    const auto stride = static_cast<int>(samples.stride());
+    EXPECT_GT(stride, 1);
+    for (std::size_t i = 0; i < samples.items().size(); ++i)
+        EXPECT_EQ(samples.items()[i], static_cast<int>(i) * stride);
+}
+
+TEST(MultiNode, SweepParallelismDoesNotChangeNodeResults)
+{
+    // Four-node experiments across every routing policy (plus an
+    // adaptive-nprobe IVF cell) must be bit-identical whether the
+    // sweep runs serially or four cells at a time — the share-nothing
+    // contract extended to the cluster axis.
+    const auto makeSpec = [] {
+        baselines::PresetParams params;
+        params.numWorkers = 4;
+        params.cacheCapacity = 300;
+        bench::SweepSpec spec;
+        spec.options.title = "multinode-property";
+        const auto bundle = [] { return ddbBundle(200, 250, 16.0); };
+        for (const auto routing :
+             {RoutingPolicy::RoundRobin, RoutingPolicy::ConsistentHash,
+              RoutingPolicy::LeastOutstanding}) {
+            auto config = baselines::modm(diffusion::sd35Large(),
+                                          diffusion::sdxl(), params);
+            config.cluster.numNodes = 4;
+            config.cluster.routing = routing;
+            spec.add(routingPolicyName(routing), config, bundle);
+        }
+        auto replicated = baselines::nirvana(diffusion::sd35Large(),
+                                             params);
+        replicated.cluster.numNodes = 2;
+        replicated.cluster.cachePartitioning =
+            CachePartitioning::Replicated;
+        spec.add("nirvana-replicated", replicated, bundle);
+        auto adaptive = baselines::modm(diffusion::sd35Large(),
+                                        diffusion::sdxl(), params);
+        adaptive.cluster.numNodes = 2;
+        adaptive.retrieval.kind = embedding::RetrievalBackend::Ivf;
+        adaptive.retrieval.nlist = 16;
+        adaptive.retrieval.adaptiveNprobe = true;
+        adaptive.maxTelemetrySamples = 32;
+        spec.add("adaptive-ivf", adaptive, bundle);
+        return spec;
+    };
+
+    std::vector<std::string> serialDigests;
+    {
+        ScopedSweepEnv env("1");
+        for (const auto &result : runSweep(makeSpec()))
+            serialDigests.push_back(resultDigest(result));
+    }
+    {
+        ScopedSweepEnv env("4");
+        const auto results = runSweep(makeSpec());
+        ASSERT_EQ(results.size(), serialDigests.size());
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            EXPECT_EQ(resultDigest(results[i]), serialDigests[i])
+                << "cell " << i
+                << " diverged between serial and concurrent execution";
+        }
+    }
+}
+
+TEST(MultiNode, RequestsConserveAcrossNodes)
+{
+    for (const auto routing :
+         {RoutingPolicy::RoundRobin, RoutingPolicy::ConsistentHash,
+          RoutingPolicy::LeastOutstanding}) {
+        baselines::PresetParams params;
+        params.numWorkers = 4;
+        params.cacheCapacity = 300;
+        auto config = baselines::modm(diffusion::sd35Large(),
+                                      diffusion::sdxl(), params);
+        config.cluster.numNodes = 4;
+        config.cluster.routing = routing;
+        auto bundle = ddbBundle(200, 300, 16.0);
+        ServingSystem system(config);
+        system.warmCache(bundle.warm);
+        const auto result = system.run(bundle.trace);
+
+        EXPECT_EQ(result.metrics.count(), 300u);
+        std::set<std::uint64_t> served;
+        for (const auto &r : result.metrics.records()) {
+            EXPECT_LE(r.arrival, r.start + 1e-9);
+            EXPECT_LE(r.start, r.finish + 1e-9);
+            served.insert(r.promptId);
+        }
+        EXPECT_EQ(served.size(), 300u);
+
+        ASSERT_EQ(result.nodes.size(), 4u);
+        std::uint64_t assigned = 0;
+        std::uint64_t completed = 0;
+        std::size_t workers = 0;
+        for (const auto &node : result.nodes) {
+            EXPECT_EQ(node.assigned, node.completed);
+            assigned += node.assigned;
+            completed += node.completed;
+            workers += node.numWorkers;
+            EXPECT_GE(node.numWorkers, 1u);
+        }
+        EXPECT_EQ(assigned, 300u);
+        EXPECT_EQ(completed, 300u);
+        EXPECT_EQ(workers, 4u);
+        EXPECT_GE(result.loadImbalance, 1.0);
+        // Multi-node digests carry the per-node section.
+        EXPECT_NE(resultDigest(result).find("nodes=4"),
+                  std::string::npos);
+    }
+}
+
+TEST(MultiNode, AffinityRoutingRecoversShardedHitRate)
+{
+    // The cluster-scale headline: at 4 sharded nodes, consistent-hash
+    // routing keeps a topic's requests and its cached images on one
+    // node, recovering hit rate that round-robin scatters away.
+    const auto runWith = [](RoutingPolicy routing) {
+        baselines::PresetParams params;
+        params.numWorkers = 8;
+        params.cacheCapacity = 1200;
+        auto config = baselines::modm(diffusion::sd35Large(),
+                                      diffusion::sdxl(), params);
+        config.cluster.numNodes = 4;
+        config.cluster.routing = routing;
+        auto bundle = ddbBundle(800, 1000, 20.0);
+        ServingSystem system(config);
+        system.warmCache(bundle.warm);
+        return system.run(bundle.trace);
+    };
+    const auto affinity = runWith(RoutingPolicy::ConsistentHash);
+    const auto roundRobin = runWith(RoutingPolicy::RoundRobin);
+    EXPECT_GT(affinity.hitRate, roundRobin.hitRate + 0.05)
+        << "affinity routing must recover a material hit-rate gap";
+    // The price of affinity: load concentrates on popular topics'
+    // nodes, while round-robin stays balanced by construction.
+    EXPECT_GE(affinity.loadImbalance, roundRobin.loadImbalance);
+}
+
+TEST(MultiNode, BoundedTelemetryCapsHitAgesAndAllocations)
+{
+    baselines::PresetParams params;
+    params.numWorkers = 4;
+    params.cacheCapacity = 400;
+    auto capped = baselines::modm(diffusion::sd35Large(),
+                                  diffusion::sdxl(), params);
+    capped.maxTelemetrySamples = 32;
+    auto unbounded = capped;
+    unbounded.maxTelemetrySamples = 0;
+
+    const auto runWith = [](const ServingConfig &config) {
+        auto bundle = ddbBundle(400, 500, 12.0);
+        ServingSystem system(config);
+        system.warmCache(bundle.warm);
+        return system.run(bundle.trace);
+    };
+    const auto full = runWith(unbounded);
+    const auto bounded = runWith(capped);
+
+    ASSERT_GT(full.hitAges.size(), 64u)
+        << "workload too small to exercise the cap";
+    EXPECT_LE(bounded.hitAges.size(), 32u);
+    EXPECT_LE(bounded.allocations.size(), 32u);
+    // Downsampling drops samples, never invents them: every retained
+    // age is the full run's sequence at a fixed stride.
+    const std::size_t stride =
+        full.hitAges.size() / bounded.hitAges.size() +
+        (full.hitAges.size() % bounded.hitAges.size() ? 1 : 0);
+    (void)stride; // the exact stride is a power of two; check membership
+    for (const double age : bounded.hitAges) {
+        EXPECT_NE(std::find(full.hitAges.begin(), full.hitAges.end(),
+                            age),
+                  full.hitAges.end());
+    }
+    // Aggregates are untouched by telemetry bounding.
+    EXPECT_EQ(full.hitRate, bounded.hitRate);
+    EXPECT_EQ(full.throughputPerMin, bounded.throughputPerMin);
+    EXPECT_EQ(full.duration, bounded.duration);
+}
+
+} // namespace
+} // namespace modm::serving

@@ -279,6 +279,75 @@ TEST(IvfIndexSeam, RecallAtLeast95OnClusteredEmbeddings)
     EXPECT_GE(recall, 0.95) << "recall@1 at default nprobe";
 }
 
+TEST(IvfIndexSeam, AdaptiveNprobeDegradesRecallMonotonically)
+{
+    // The adaptive probe scheduler (RetrievalBackendConfig::
+    // adaptiveNprobe) sheds probed lists as the monitor's load signal
+    // rises. Because probed lists at a higher load are always a prefix
+    // of those at a lower load, per-query results can only get worse:
+    // recall@1 must degrade monotonically — and deterministically,
+    // since the signal feeds a pure function of (config, load).
+    const auto centers = makeCenters(64, 9);
+    RetrievalBackendConfig config;
+    config.kind = RetrievalBackend::Ivf;
+    config.nprobe = 16;
+    config.adaptiveNprobe = true;
+    config.minNprobe = 1;
+
+    IvfIndex ivf(config);
+    FlatIndex exact;
+    Rng rng(31);
+    for (std::uint64_t id = 0; id < 12000; ++id) {
+        const auto e = clusteredEmbedding(centers, rng);
+        ivf.insert(id, e);
+        exact.insert(id, e);
+    }
+    ASSERT_TRUE(ivf.trained());
+
+    const std::vector<double> loads = {0.0, 0.25, 0.5, 0.75, 1.0};
+    const auto measure = [&](double load) {
+        ivf.setLoadSignal(load);
+        std::size_t agreed = 0;
+        constexpr std::size_t kQueries = 300;
+        Rng qrng(47);
+        for (std::size_t q = 0; q < kQueries; ++q) {
+            const auto query = clusteredEmbedding(centers, qrng);
+            if (ivf.best(query).id == exact.best(query).id)
+                ++agreed;
+        }
+        return static_cast<double>(agreed) /
+            static_cast<double>(kQueries);
+    };
+
+    std::vector<std::size_t> nprobes;
+    std::vector<double> recalls;
+    for (const double load : loads) {
+        ivf.setLoadSignal(load);
+        nprobes.push_back(ivf.effectiveNprobe());
+        recalls.push_back(measure(load));
+    }
+    EXPECT_EQ(nprobes.front(), 16u);
+    EXPECT_EQ(nprobes.back(), 1u);
+    for (std::size_t i = 1; i < loads.size(); ++i) {
+        EXPECT_LE(nprobes[i], nprobes[i - 1]) << "load " << loads[i];
+        EXPECT_LE(recalls[i], recalls[i - 1]) << "load " << loads[i];
+    }
+    // The full idle-to-saturated span must show a real degradation
+    // (otherwise the knob is dead) ...
+    EXPECT_LT(recalls.back(), recalls.front());
+    EXPECT_GE(recalls.front(), 0.95);
+    // ... and replaying any load level must reproduce it exactly.
+    for (std::size_t i = 0; i < loads.size(); ++i)
+        EXPECT_EQ(measure(loads[i]), recalls[i]);
+    // Off by default: an index without the knob ignores the signal.
+    RetrievalBackendConfig fixed;
+    fixed.kind = RetrievalBackend::Ivf;
+    fixed.nprobe = 16;
+    IvfIndex plain(fixed);
+    plain.setLoadSignal(1.0);
+    EXPECT_EQ(plain.effectiveNprobe(), 16u);
+}
+
 TEST(IvfIndexSeam, RecallHoldsUnderInsertEvictChurn)
 {
     const auto centers = makeCenters(64, 13);
