@@ -12,8 +12,11 @@
  * hit sit on the wrong shard — hit rate degrades as nodes grow. The
  * consistent-hash router pins each topic to one node, recovering most
  * of the single-node hit rate at the cost of load imbalance (popular
- * topics overload their node). Replicated partitioning gives every
- * node the full cache budget and bounds the attainable recovery.
+ * topics overload their node); the bounded-load variant keeps the
+ * affinity but spills an overloaded owner's traffic to the next ring
+ * node. Replicated partitioning spends the same budget on k=2 copies
+ * per entry placed on the topic's ring owners — lower unique capacity,
+ * but content that survives node failures (see ablation_failover).
  *
  * Every column is virtual-time simulation output (no wall-clock), so
  * the emitted table is bit-identical at any sweep parallelism — the
@@ -80,11 +83,14 @@ main()
         for (const auto routing :
              {serving::RoutingPolicy::RoundRobin,
               serving::RoutingPolicy::ConsistentHash,
-              serving::RoutingPolicy::LeastOutstanding}) {
+              serving::RoutingPolicy::LeastOutstanding,
+              serving::RoutingPolicy::BoundedLoadConsistentHash}) {
             grid.push_back({nodes, routing,
                             serving::CachePartitioning::Sharded});
         }
-        // Replicated capacity: the upper bound affinity routing chases.
+        // k-replica write-through on the same budget: what affinity
+        // routing keeps hitting after a node failure (see
+        // ablation_failover for the recovery story).
         grid.push_back({nodes, serving::RoutingPolicy::ConsistentHash,
                         serving::CachePartitioning::Replicated});
     }

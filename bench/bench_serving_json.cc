@@ -6,12 +6,15 @@
  * instead of living in scrollback.
  *
  * The sweep is deliberately frozen — paper line-up on a DiffusionDB
- * Poisson trace, one multi-node affinity cell, plus a retrieval
- * microbench per backend — and versioned by the `schema` field; bump
- * it when cells change so downstream tooling never compares
- * incompatible snapshots. Serving metrics are virtual-time and
- * bit-deterministic; the us/query retrieval column is wall time and is
- * the only machine-dependent number in the file.
+ * Poisson trace, one multi-node affinity cell, one failover cell (a
+ * midpoint node kill under k=2 replication, tracking recovery time
+ * and rerouted requests), plus a retrieval microbench per backend —
+ * and versioned by the `schema` field; bump it when cells change so
+ * downstream tooling never compares incompatible snapshots. Schema 2
+ * added the failover cell and the per-cell `rerouted_requests` /
+ * `recovery_time_s` resilience fields. Serving metrics are
+ * virtual-time and bit-deterministic; the us/query retrieval column
+ * is wall time and is the only machine-dependent number in the file.
  *
  * Usage: bench_serving_json [output-path]   (default BENCH_serving.json)
  */
@@ -28,7 +31,7 @@ using namespace modm;
 
 namespace {
 
-constexpr int kSchema = 1;
+constexpr int kSchema = 2;
 constexpr std::size_t kWarm = 800;
 constexpr std::size_t kRequests = 2000;
 constexpr double kRatePerMin = 12.0;
@@ -120,6 +123,32 @@ main(int argc, char **argv)
         });
         cellRates.push_back(2.0 * kRatePerMin);
     }
+    // One failover cell so the resilience trajectory is tracked per
+    // commit: k=2 replicated affinity cluster, node 1 killed a third
+    // of the way into the trace; recovery_time_s and
+    // rerouted_requests below come from its FailoverReport.
+    {
+        baselines::PresetParams cluster = params;
+        cluster.numWorkers = 8;
+        auto config = baselines::modm(diffusion::sd35Large(),
+                                      diffusion::sdxl(), cluster);
+        config.cluster.numNodes = 4;
+        config.cluster.routing = serving::RoutingPolicy::ConsistentHash;
+        config.cluster.cachePartitioning =
+            serving::CachePartitioning::Replicated;
+        config.cluster.replicationFactor = 2;
+        const auto probe = bench::poissonBundle(
+            bench::Dataset::DiffusionDB, kWarm, kRequests,
+            2.0 * kRatePerMin);
+        config.faults.add(probe.trace[kRequests / 3].arrival, 1,
+                          serving::FaultKind::Kill);
+        spec.add("MoDM-SDXL/4node-kill-replicated", config, [] {
+            return bench::poissonBundle(bench::Dataset::DiffusionDB,
+                                        kWarm, kRequests,
+                                        2.0 * kRatePerMin);
+        });
+        cellRates.push_back(2.0 * kRatePerMin);
+    }
     const auto results = bench::runSweep(spec);
 
     embedding::RetrievalBackendConfig flat;
@@ -148,13 +177,17 @@ main(int argc, char **argv)
             "\"throughput_per_min\": %s, "
             "\"hit_rate\": %s, \"p50_latency_s\": %s, "
             "\"p99_latency_s\": %s, \"recall_at1\": %s, "
-            "\"load_imbalance\": %s, \"num_nodes\": %zu}%s\n",
+            "\"load_imbalance\": %s, \"num_nodes\": %zu, "
+            "\"rerouted_requests\": %llu, \"recovery_time_s\": %s}%s\n",
             spec.cells[i].label.c_str(), num(cellRates[i]).c_str(),
             num(r.throughputPerMin).c_str(), num(r.hitRate).c_str(),
             num(r.metrics.latencyPercentile(50.0)).c_str(),
             num(r.metrics.latencyPercentile(99.0)).c_str(),
             num(r.retrievalRecallAt1).c_str(),
             num(r.loadImbalance).c_str(), r.numNodes,
+            static_cast<unsigned long long>(r.failover.rerouted),
+            // -1 = no kill in this cell (or recovery never proven).
+            num(r.failover.hitRateRecoveryS).c_str(),
             i + 1 < spec.cells.size() ? "," : "");
     }
     std::fprintf(out, "  ],\n");

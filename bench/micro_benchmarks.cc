@@ -258,6 +258,51 @@ BM_IndexTopKIvf1M(benchmark::State &state)
 }
 BENCHMARK(BM_IndexTopKIvf1M)->Unit(benchmark::kMillisecond);
 
+/**
+ * The retrieval inner loop itself: modm::dot's 4-way unrolled
+ * multi-accumulator against the single-accumulator chain it replaced.
+ * The chain serializes on FP-add latency (the compiler must preserve
+ * the summation order), so the unrolled version should win by the
+ * add-latency x SIMD-width product on a vectorizing build. Args are
+ * the row dimension: 64 is the in-repo synthetic embedding space, 512
+ * a production CLIP width.
+ */
+double
+dotScalarChain(const float *a, const float *b, std::size_t n)
+{
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+    return acc;
+}
+
+void
+BM_DotScalarChain(benchmark::State &state)
+{
+    const std::size_t dim = state.range(0);
+    Rng rng(7);
+    const Vec a = randomUnitVec(dim, rng);
+    const Vec b = randomUnitVec(dim, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            dotScalarChain(a.data(), b.data(), dim));
+    state.SetItemsProcessed(state.iterations() * dim);
+}
+BENCHMARK(BM_DotScalarChain)->Arg(64)->Arg(512);
+
+void
+BM_DotUnrolled(benchmark::State &state)
+{
+    const std::size_t dim = state.range(0);
+    Rng rng(7);
+    const Vec a = randomUnitVec(dim, rng);
+    const Vec b = randomUnitVec(dim, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dot(a.data(), b.data(), dim));
+    state.SetItemsProcessed(state.iterations() * dim);
+}
+BENCHMARK(BM_DotUnrolled)->Arg(64)->Arg(512);
+
 void
 BM_TextEncode(benchmark::State &state)
 {

@@ -167,4 +167,14 @@ LatentCache::compactOrder()
     ++orderCompactions_;
 }
 
+void
+LatentCache::clear()
+{
+    entries_.clear();
+    index_->clear();
+    order_.clear();
+    staleOrder_ = 0;
+    storedBytes_ = 0.0;
+}
+
 } // namespace modm::cache

@@ -173,6 +173,9 @@ class LatentCache
     /** The retrieval backend (exposed for tests and benchmarks). */
     const embedding::VectorIndex &index() const { return *index_; }
 
+    /** Remove everything (node restart); counters are kept. */
+    void clear();
+
   private:
     void evictOne();
     /** Drop stale order slots once they outnumber live ones. */

@@ -38,6 +38,18 @@ panic(const char *fmt, ...)
 }
 
 void
+assertFail(const char *cond, const char *fmt, ...)
+{
+    std::fprintf(stderr, "panic: assertion failed (%s): ", cond);
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "\n");
+    std::abort();
+}
+
+void
 warn(const char *fmt, ...)
 {
     va_list ap;

@@ -31,6 +31,16 @@ void warn(const char *fmt, ...);
 void inform(const char *fmt, ...);
 
 /**
+ * Print "assertion failed (<cond>): <formatted message>" and abort().
+ * A separate entry point (rather than folding #cond into the panic
+ * varargs) so the condition text cannot shift the caller's format
+ * arguments: the old macro passed #cond *after* the user args, which
+ * made every assert that fired with format arguments print garbage —
+ * or crash inside vfprintf — instead of its message.
+ */
+[[noreturn]] void assertFail(const char *cond, const char *fmt, ...);
+
+/**
  * Assert a library invariant; panics with the given message on failure.
  * Unlike assert(3) this is active in release builds — simulators must not
  * silently continue past corrupted state.
@@ -38,7 +48,7 @@ void inform(const char *fmt, ...);
 #define MODM_ASSERT(cond, ...)                                               \
     do {                                                                     \
         if (!(cond))                                                         \
-            ::modm::panic("assertion failed (%s): " __VA_ARGS__, #cond);     \
+            ::modm::assertFail(#cond, __VA_ARGS__);                          \
     } while (0)
 
 } // namespace modm

@@ -27,15 +27,41 @@ double dot(const Vec &a, const Vec &b);
  * Dot product over raw rows of length n — THE retrieval hot loop,
  * shared by every VectorIndex backend (FlatIndex row scans, IvfIndex
  * centroid assignment and list scans). One definition, inline in the
- * header so each scan loop vectorizes it in context; accumulates in
- * double, matching the Vec overload exactly. Vectorize here and every
- * backend speeds up together.
+ * header so each scan loop vectorizes it in context. Speed up here
+ * and every backend speeds up together.
+ *
+ * The inner loop is a 4-way unrolled multi-accumulator: a single
+ * `acc += a[i] * b[i]` chain serializes on the ~4-cycle FP-add
+ * latency and cannot be auto-vectorized without -ffast-math (FP
+ * addition is not associative, so the compiler must preserve the
+ * chain); four independent double accumulators break the dependence
+ * and let the compiler emit SIMD multiply-adds. Each float product is
+ * exact in double (24+24 significand bits < 53), but the blocked
+ * summation order differs from the sequential chain, so results can
+ * differ from the pre-unroll loop in the last ulp — the pinned serving
+ * digests were re-pinned once for this change (hex-float digests
+ * capture every bit; all figure tables, which print rounded values,
+ * were verified byte-identical).
  */
 inline double
 dot(const float *a, const float *b, std::size_t n)
 {
-    double acc = 0.0;
-    for (std::size_t i = 0; i < n; ++i)
+    double acc0 = 0.0;
+    double acc1 = 0.0;
+    double acc2 = 0.0;
+    double acc3 = 0.0;
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        acc0 += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+        acc1 += static_cast<double>(a[i + 1]) *
+            static_cast<double>(b[i + 1]);
+        acc2 += static_cast<double>(a[i + 2]) *
+            static_cast<double>(b[i + 2]);
+        acc3 += static_cast<double>(a[i + 3]) *
+            static_cast<double>(b[i + 3]);
+    }
+    double acc = (acc0 + acc1) + (acc2 + acc3);
+    for (; i < n; ++i)
         acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
     return acc;
 }

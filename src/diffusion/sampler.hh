@@ -30,6 +30,7 @@
 
 #include <cstdint>
 
+#include "src/common/log.hh"
 #include "src/diffusion/image.hh"
 #include "src/diffusion/model_spec.hh"
 #include "src/diffusion/schedule.hh"
@@ -128,7 +129,25 @@ class Sampler
     const SamplerConfig &config() const { return config_; }
 
     /** Number of images produced so far. */
-    std::uint64_t imagesProduced() const { return nextImageId_; }
+    std::uint64_t imagesProduced() const
+    {
+        return nextImageId_ - idBase_;
+    }
+
+    /**
+     * Start image ids at `base` instead of 0. Multi-node clusters give
+     * each node a disjoint id range so content replicated across node
+     * caches never collides (ids must be unique within one cache).
+     * Must be called before the first generation; node 0 keeps base 0,
+     * preserving single-node ids exactly.
+     */
+    void offsetImageIds(std::uint64_t base)
+    {
+        MODM_ASSERT(nextImageId_ == idBase_,
+                    "image-id base must be set before generating");
+        nextImageId_ = base;
+        idBase_ = base;
+    }
 
   private:
     /** The model's generation target for a prompt (deterministic). */
@@ -145,6 +164,7 @@ class Sampler
     NoiseSchedule schedule_;
     mutable Vec styleDir_;  // built lazily once the dimension is known
     std::uint64_t nextImageId_ = 0;
+    std::uint64_t idBase_ = 0;
 };
 
 } // namespace modm::diffusion

@@ -17,6 +17,7 @@
 #include "src/diffusion/sampler.hh"
 #include "src/embedding/encoder.hh"
 #include "src/embedding/vector_index.hh"
+#include "src/serving/fault.hh"
 #include "src/serving/k_decision.hh"
 #include "src/serving/monitor.hh"
 #include "src/serving/pid.hh"
@@ -53,7 +54,16 @@ enum class CachePartitioning
      * the regime where routing policy decides hit rate.
      */
     Sharded,
-    /** Give every node the full configured capacity. */
+    /**
+     * k-replica write-through on the same cluster-wide budget: shards
+     * split exactly like Sharded, but every generated entry is
+     * admitted to the first `replicationFactor` alive nodes clockwise
+     * of its topic on the consistent-hash ring (the ring the affinity
+     * routers use, so replica #1 lands where affinity routing sends
+     * the topic). Trades unique cache capacity for redundancy: after
+     * a node kill, the ring heals onto exactly the nodes that hold
+     * the dead shard's replicas, so affinity misses keep hitting.
+     */
     Replicated,
 };
 
@@ -75,6 +85,18 @@ struct ClusterTopology
     RoutingPolicy routing = RoutingPolicy::RoundRobin;
     /** How the cache budget divides across nodes. */
     CachePartitioning cachePartitioning = CachePartitioning::Sharded;
+    /**
+     * Replica count k under Replicated partitioning: each generated
+     * entry is admitted to the k alive ring successors of its topic
+     * (clamped to the alive node count). Ignored under Sharded.
+     */
+    std::size_t replicationFactor = 2;
+    /**
+     * Spill threshold c of BoundedLoadConsistentHash routing: the
+     * ring owner is bypassed when its outstanding count exceeds
+     * c x the alive-node mean. Ignored by other policies.
+     */
+    double boundedLoadFactor = 1.25;
 };
 
 /** Full experiment configuration. */
@@ -103,6 +125,14 @@ struct ServingConfig
      * behaviour exactly.
      */
     ClusterTopology cluster = {};
+
+    /**
+     * Scripted node faults (kill / drain / rejoin) on the virtual
+     * clock. The default empty plan is a strict no-op: no fault code
+     * runs and results are byte-identical to a build without the
+     * subsystem.
+     */
+    FaultPlan faults = {};
 
     /** Image cache (MoDM / Pinecone). */
     std::size_t cacheCapacity = 10000;

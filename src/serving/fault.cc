@@ -1,0 +1,190 @@
+#include "src/serving/fault.hh"
+
+#include <algorithm>
+
+#include "src/common/log.hh"
+
+namespace modm::serving {
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::Kill:
+        return "kill";
+      case FaultKind::Drain:
+        return "drain";
+      case FaultKind::Rejoin:
+        return "rejoin";
+    }
+    panic("unknown FaultKind");
+}
+
+void
+validatePlan(const FaultPlan &plan, std::size_t num_nodes)
+{
+    MODM_ASSERT(plan.recoveryWindow > 0,
+                "recovery window must be positive");
+    MODM_ASSERT(plan.recoveryTarget > 0.0 && plan.recoveryTarget <= 1.0,
+                "recovery target must be in (0, 1]");
+    // Track liveness through the script so authoring errors (killing
+    // the last node, rejoining an alive one) fail fast at startup
+    // instead of corrupting a long simulation. "Up" (alive, maybe
+    // draining) and "admitting" (up and not draining) are tracked
+    // separately: a kill may supersede an in-progress drain, but
+    // never hit an already-dead node.
+    std::vector<bool> up(num_nodes, true);
+    std::vector<bool> admitting(num_nodes, true);
+    std::size_t admittingCount = num_nodes;
+    double prevTime = 0.0;
+    for (const auto &event : plan.events) {
+        MODM_ASSERT(event.node < num_nodes,
+                    "fault plan targets node %zu of %zu", event.node,
+                    num_nodes);
+        MODM_ASSERT(event.time >= 0.0, "fault time must be >= 0");
+        MODM_ASSERT(event.time >= prevTime,
+                    "fault events must be time-ordered (%f after %f)",
+                    event.time, prevTime);
+        prevTime = event.time;
+        switch (event.kind) {
+          case FaultKind::Kill:
+            MODM_ASSERT(up[event.node],
+                        "kill of node %zu which is already down",
+                        event.node);
+            if (admitting[event.node]) {
+                MODM_ASSERT(admittingCount > 1,
+                            "plan would leave no admitting node");
+                admitting[event.node] = false;
+                --admittingCount;
+            }
+            up[event.node] = false;
+            break;
+          case FaultKind::Drain:
+            MODM_ASSERT(up[event.node], "drain of node %zu which is down",
+                        event.node);
+            MODM_ASSERT(admitting[event.node],
+                        "node %zu is already draining", event.node);
+            MODM_ASSERT(admittingCount > 1,
+                        "plan would leave no admitting node");
+            admitting[event.node] = false;
+            --admittingCount;
+            break;
+          case FaultKind::Rejoin:
+            MODM_ASSERT(!admitting[event.node],
+                        "rejoin of node %zu which is already up",
+                        event.node);
+            up[event.node] = true;
+            admitting[event.node] = true;
+            ++admittingCount;
+            break;
+        }
+    }
+}
+
+FailoverReport
+analyzeFailover(const MetricsCollector &metrics, const FaultPlan &plan)
+{
+    FailoverReport report;
+    report.active = !plan.empty();
+    for (const auto &event : plan.events) {
+        if (event.kind == FaultKind::Kill) {
+            report.firstKillTime = event.time;
+            break;
+        }
+    }
+    if (report.firstKillTime < 0.0)
+        return report;
+
+    const double kill = report.firstKillTime;
+    const auto &records = metrics.records();
+
+    // Pre-fault hit rate over classifications in [0, kill): the hit
+    // decision reflects cache state at classification time, so a
+    // request classified on the healthy cluster counts as pre-fault
+    // even when its generation finishes after the kill. Pre-fault
+    // capacity is completion-stamped: finished work is throughput.
+    std::uint64_t preClassified = 0;
+    std::uint64_t preHits = 0;
+    std::uint64_t preFinished = 0;
+    for (const auto &r : records) {
+        if (r.classified < kill) {
+            ++preClassified;
+            if (r.cacheHit)
+                ++preHits;
+        }
+        if (r.finish < kill)
+            ++preFinished;
+    }
+    if (preClassified == 0 || preFinished == 0 || kill <= 0.0)
+        return report; // nothing to recover toward
+    report.preFaultHitRate = static_cast<double>(preHits) /
+        static_cast<double>(preClassified);
+    report.preFaultThroughputPerMin =
+        static_cast<double>(preFinished) * 60.0 / kill;
+
+    // Hit-rate recovery: scan post-kill classifications in time order
+    // with a trailing window of recoveryWindow samples; recovered at
+    // the first full window whose hit rate meets the target. Records
+    // are completion-ordered, so sort a view by classification stamp
+    // (stable: simultaneous classifications keep completion order).
+    std::vector<const RequestRecord *> byClassified;
+    byClassified.reserve(records.size());
+    for (const auto &r : records) {
+        if (r.classified >= kill)
+            byClassified.push_back(&r);
+    }
+    std::stable_sort(byClassified.begin(), byClassified.end(),
+                     [](const RequestRecord *a, const RequestRecord *b) {
+                         return a->classified < b->classified;
+                     });
+    const double hitTarget = plan.recoveryTarget * report.preFaultHitRate;
+    const std::size_t window =
+        std::max<std::size_t>(plan.recoveryWindow, 1);
+    std::size_t hitsInWindow = 0;
+    for (std::size_t i = 0; i < byClassified.size(); ++i) {
+        if (byClassified[i]->cacheHit)
+            ++hitsInWindow;
+        if (i >= window && byClassified[i - window]->cacheHit)
+            --hitsInWindow;
+        if (i + 1 < window)
+            continue;
+        const double rate = static_cast<double>(hitsInWindow) /
+            static_cast<double>(window);
+        if (rate >= hitTarget) {
+            report.hitRateRecoveryS = byClassified[i]->classified - kill;
+            break;
+        }
+    }
+
+    // Lost-capacity window: the last instant cumulative post-kill
+    // completions trailed recoveryTarget x the work that arrived
+    // since the kill — when service finally caught back up with the
+    // offered load (0 = it never fell behind). Measured against
+    // arrivals rather than the pre-fault rate so the post-trace queue
+    // drain closes the window instead of extending it forever.
+    std::vector<double> arrivals;
+    std::vector<double> finishes;
+    arrivals.reserve(records.size());
+    finishes.reserve(records.size());
+    for (const auto &r : records) {
+        if (r.arrival >= kill)
+            arrivals.push_back(r.arrival);
+        if (r.finish >= kill)
+            finishes.push_back(r.finish);
+    }
+    std::sort(arrivals.begin(), arrivals.end());
+    std::sort(finishes.begin(), finishes.end());
+    std::size_t arrived = 0;
+    for (std::size_t done = 0; done < finishes.size(); ++done) {
+        while (arrived < arrivals.size() &&
+               arrivals[arrived] <= finishes[done])
+            ++arrived;
+        const double required =
+            plan.recoveryTarget * static_cast<double>(arrived);
+        if (static_cast<double>(done + 1) < required)
+            report.lostCapacityS = finishes[done] - kill;
+    }
+    return report;
+}
+
+} // namespace modm::serving

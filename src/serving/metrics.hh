@@ -31,6 +31,13 @@ struct RequestRecord
 {
     std::uint64_t promptId = 0;
     double arrival = 0.0;
+    /**
+     * Scheduler classification instant (cache lookup time). The hit
+     * decision reflects cache state *here*, so failover recovery
+     * analysis buckets hit rates by this stamp. Not part of the
+     * digest line (whose format is frozen).
+     */
+    double classified = 0.0;
     double start = 0.0;    ///< dispatch to a worker (or direct return)
     double finish = 0.0;
     bool cacheHit = false;

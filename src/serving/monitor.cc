@@ -33,6 +33,12 @@ GlobalMonitor::GlobalMonitor(MonitorConfig config)
     current_.smallModelIndex = 0;
 }
 
+void
+GlobalMonitor::reset()
+{
+    pid_.reset();
+}
+
 double
 GlobalMonitor::missWorkload(const MonitorInputs &inputs) const
 {

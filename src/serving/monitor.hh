@@ -98,6 +98,15 @@ class GlobalMonitor
     /** Most recent allocation. */
     Allocation current() const { return current_; }
 
+    /**
+     * Forget controller history after a node outage (fault rejoin):
+     * the PID integral and derivative accumulated against a cluster
+     * state that no longer exists, so the next update reacts to fresh
+     * measurements only. The current allocation is kept — the node
+     * resumes from its last decision, not from cold start.
+     */
+    void reset();
+
     /** Cache-miss workload for inputs (full generations / minute). */
     double missWorkload(const MonitorInputs &inputs) const;
 

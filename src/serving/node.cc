@@ -48,6 +48,15 @@ ServingNode::ServingNode(const ServingConfig &node_config,
     MODM_ASSERT(config_.kind != SystemKind::StandaloneSmall ||
                 !config_.smallModels.empty(),
                 "StandaloneSmall needs its model in smallModels");
+    // Disjoint per-node image-id ranges under replication: replicated
+    // admission puts one node's generations into sibling caches, where
+    // ids must stay unique. Sharded caches never mix id spaces, so
+    // they keep the historical per-node ids (and digests) untouched;
+    // node 0 keeps base 0 either way.
+    if (id_ > 0 &&
+        config_.cluster.cachePartitioning == CachePartitioning::Replicated)
+        sampler_.offsetImageIds(id_ << 40);
+
     if (config_.kind == SystemKind::MoDM)
         monitor_ = std::make_unique<GlobalMonitor>(
             makeMonitorConfig(config_));
@@ -82,12 +91,40 @@ ServingNode::warm(const workload::Prompt &prompt)
     const auto image = sampler_.generate(config_.largeModel, prompt, 0.0);
     const auto textEmb = scheduler_->textEncoder().encode(
         prompt.visualConcept, prompt.lexicalStyle, prompt.text);
-    scheduler_->admitGenerated(image, textEmb, /*from_miss=*/true, 0.0);
+    admitGenerated(image, textEmb, /*from_miss=*/true, prompt.topicId,
+                   0.0);
+}
+
+void
+ServingNode::admitGenerated(const diffusion::Image &image,
+                            const embedding::Embedding &text_embedding,
+                            bool from_miss, std::uint32_t topic_id,
+                            double now)
+{
+    if (replicas_ != nullptr) {
+        replicas_->admitReplicated(id_, image, text_embedding, from_miss,
+                                   topic_id, now);
+        return;
+    }
+    scheduler_->admitGenerated(image, text_embedding, from_miss, now);
+}
+
+void
+ServingNode::admitLocal(std::size_t origin, const diffusion::Image &image,
+                        const embedding::Embedding &text_embedding,
+                        bool from_miss, double now)
+{
+    scheduler_->admitGenerated(image, text_embedding, from_miss, now);
+    if (origin != id_)
+        ++replicaAdmits_;
 }
 
 void
 ServingNode::onArrival(const workload::Request &request)
 {
+    MODM_ASSERT(alive_ && !draining_,
+                "request routed to node %zu which is not admitting",
+                id_);
     ++periodArrivals_;
     ++assigned_;
     intake_.push_back(request);
@@ -98,8 +135,9 @@ ServingNode::onArrival(const workload::Request &request)
 void
 ServingNode::scheduleMonitorTick()
 {
-    events_.schedule(config_.monitorPeriod,
-                     [this]() { onMonitorTick(); });
+    monitorTick_ = events_.schedule(config_.monitorPeriod,
+                                    [this]() { onMonitorTick(); });
+    monitorTickPending_ = true;
 }
 
 bool
@@ -219,14 +257,18 @@ ServingNode::tryDispatch()
                            model.defaultSteps * remaining)));
             }
             const double finish = worker.startJob(model, steps, now);
-            const double dispatchTime = now;
-            // Capture by value; the job lives until the event fires.
-            auto jobPtr = std::make_shared<ClassifiedJob>(std::move(job));
-            events_.schedule(finish, [this, w, jobPtr, dispatchTime,
-                                      useLarge, smallIdx]() {
-                onJobComplete(w, *jobPtr, dispatchTime, useLarge,
-                              smallIdx);
-            });
+            // Register in the in-flight ledger before scheduling so a
+            // kill between now and `finish` can cancel the completion
+            // and surrender the request.
+            const std::uint64_t jobId = nextJobId_++;
+            InFlightJob &entry = inFlight_[jobId];
+            entry.worker = w;
+            entry.job = std::move(job);
+            entry.dispatchTime = now;
+            entry.useLarge = useLarge;
+            entry.smallIndex = smallIdx;
+            entry.event = events_.schedule(
+                finish, [this, jobId]() { onJobComplete(jobId); });
             progress = true;
             processIntake(); // a freed lookahead slot admits a new job
         }
@@ -234,15 +276,20 @@ ServingNode::tryDispatch()
 }
 
 void
-ServingNode::onJobComplete(std::size_t worker_index,
-                           const ClassifiedJob &job, double dispatch_time,
-                           bool used_large, std::size_t small_index)
+ServingNode::onJobComplete(std::uint64_t job_id)
 {
-    (void)worker_index;
+    const auto it = inFlight_.find(job_id);
+    MODM_ASSERT(it != inFlight_.end(),
+                "completion for unknown job %llu",
+                static_cast<unsigned long long>(job_id));
+    const InFlightJob entry = std::move(it->second);
+    inFlight_.erase(it);
+    const ClassifiedJob &job = entry.job;
+
     const double now = events_.now();
-    const diffusion::ModelSpec &model = used_large
+    const diffusion::ModelSpec &model = entry.useLarge
         ? config_.largeModel
-        : config_.smallModels[small_index];
+        : config_.smallModels[entry.smallIndex];
 
     diffusion::Image image;
     ServeKind kind;
@@ -255,12 +302,138 @@ ServingNode::onJobComplete(std::size_t worker_index,
         kind = ServeKind::FullGeneration;
     }
 
-    scheduler_->admitGenerated(image, job.textEmbedding, !job.hit, now);
-    finishRequest(job, dispatch_time, now, kind, model.name, &image);
+    admitGenerated(image, job.textEmbedding, !job.hit,
+                   job.request.prompt.topicId, now);
+    finishRequest(job, entry.dispatchTime, now, kind, model.name,
+                  &image);
     ++completed_;
     ++run_.completed;
     processIntake();
     tryDispatch();
+}
+
+std::vector<workload::Request>
+ServingNode::kill(double now)
+{
+    MODM_ASSERT(alive_, "kill of node %zu which is already down", id_);
+    alive_ = false;
+    if (draining_) {
+        // A kill supersedes an in-progress drain.
+        draining_ = false;
+        drainedS_ += now - drainSince_;
+        drainSince_ = -1.0;
+    }
+    downSince_ = now;
+
+    if (monitorTickPending_) {
+        events_.cancel(monitorTick_);
+        monitorTickPending_ = false;
+    }
+
+    // Surrender everything this node still owed: unclassified intake,
+    // classified queues, and in-flight generations (whose completions
+    // are cancelled and whose workers roll back to the kill time).
+    std::vector<workload::Request> owed;
+    owed.reserve(intake_.size() + largeQueue_.size() +
+                 smallQueue_.size() + inFlight_.size());
+    for (const auto &request : intake_)
+        owed.push_back(request);
+    for (const auto &job : largeQueue_)
+        owed.push_back(job.request);
+    for (const auto &job : smallQueue_)
+        owed.push_back(job.request);
+    for (const auto &[jobId, entry] : inFlight_) {
+        events_.cancel(entry.event);
+        cluster_.worker(entry.worker).abortJob(now);
+        owed.push_back(entry.job.request);
+        ++abortedJobs_;
+    }
+    intake_.clear();
+    largeQueue_.clear();
+    smallQueue_.clear();
+    inFlight_.clear();
+
+    // Deliver the backlog to its new owners in arrival order, not in
+    // queue-discovery order (stable: equal arrivals keep the order
+    // collected above, which is deterministic).
+    std::stable_sort(owed.begin(), owed.end(),
+                     [](const workload::Request &a,
+                        const workload::Request &b) {
+                         return a.arrival < b.arrival;
+                     });
+    reroutedOut_ += owed.size();
+
+    // The shard dies with the node: a rejoin starts cold.
+    scheduler_->clearCaches();
+
+    // Stale period counters must not feed the monitor after a rejoin.
+    periodArrivals_ = 0;
+    periodHits_ = 0;
+    periodMisses_ = 0;
+    periodKCounts_.clear();
+    haveInputs_ = false;
+
+    return owed;
+}
+
+void
+ServingNode::drain(double now)
+{
+    MODM_ASSERT(alive_, "drain of node %zu which is down", id_);
+    MODM_ASSERT(!draining_, "node %zu is already draining", id_);
+    draining_ = true;
+    drainSince_ = now;
+}
+
+void
+ServingNode::rejoin(double now)
+{
+    if (draining_) {
+        draining_ = false;
+        drainedS_ += now - drainSince_;
+        drainSince_ = -1.0;
+        return;
+    }
+    MODM_ASSERT(!alive_, "rejoin of node %zu which is already up", id_);
+    alive_ = true;
+    downtimeS_ += now - downSince_;
+    downIntervals_.push_back({downSince_, now});
+    downSince_ = -1.0;
+    // Restart the control loop against fresh measurements only.
+    if (monitor_)
+        monitor_->reset();
+    if (run_.completed < run_.total) {
+        monitorTick_ = events_.scheduleAfter(
+            config_.monitorPeriod, [this]() { onMonitorTick(); });
+        monitorTickPending_ = true;
+    }
+}
+
+double
+ServingNode::downtimeS(double until) const
+{
+    double down = downtimeS_;
+    if (downSince_ >= 0.0)
+        down += std::max(until - downSince_, 0.0);
+    return down;
+}
+
+double
+ServingNode::drainedS(double until) const
+{
+    double drained = drainedS_;
+    if (drainSince_ >= 0.0)
+        drained += std::max(until - drainSince_, 0.0);
+    return drained;
+}
+
+std::vector<std::pair<double, double>>
+ServingNode::downIntervals(double until) const
+{
+    auto intervals = downIntervals_;
+    if (downSince_ >= 0.0)
+        intervals.push_back({downSince_, std::max(until, downSince_)});
+    return intervals;
 }
 
 void
@@ -272,6 +445,7 @@ ServingNode::finishRequest(const ClassifiedJob &job, double start,
     RequestRecord record;
     record.promptId = job.request.prompt.id;
     record.arrival = job.request.arrival;
+    record.classified = job.classifiedAt;
     record.start = start;
     record.finish = finish;
     record.cacheHit = job.hit;
@@ -290,6 +464,7 @@ ServingNode::finishRequest(const ClassifiedJob &job, double start,
 void
 ServingNode::onMonitorTick()
 {
+    monitorTickPending_ = false;
     if (config_.kind == SystemKind::MoDM) {
         const std::uint64_t classified = periodHits_ + periodMisses_;
         if (classified > 0) {
@@ -328,8 +503,9 @@ ServingNode::onMonitorTick()
     periodKCounts_.clear();
 
     if (run_.completed < run_.total) {
-        events_.scheduleAfter(config_.monitorPeriod,
-                              [this]() { onMonitorTick(); });
+        monitorTick_ = events_.scheduleAfter(
+            config_.monitorPeriod, [this]() { onMonitorTick(); });
+        monitorTickPending_ = true;
         tryDispatch();
     }
 }
@@ -356,7 +532,11 @@ ServingNode::stats(double duration) const
         stats.cacheSize = latents->size();
         stats.cacheBytes = latents->storedBytes();
     }
-    stats.energyJ = cluster_.totalEnergyJ(duration);
+    // A dead node draws no idle power; with no faults the downtime is
+    // zero and this reproduces the original accounting bit-for-bit.
+    stats.energyJ = cluster_.totalEnergyJ(duration) -
+        downtimeS(duration) * config_.idlePowerW *
+            static_cast<double>(cluster_.size());
     stats.modelSwitches = cluster_.totalModelSwitches();
     return stats;
 }

@@ -12,6 +12,13 @@
  * which node sees a request; after that the node's behaviour is
  * byte-identical to the original single-system code path, which is how
  * a one-node cluster reproduces every published figure exactly.
+ *
+ * Fault lifecycle (driven by the front-end per ServingConfig::faults):
+ * kill() aborts in-flight generations, surrenders the backlog for
+ * re-routing, and loses the cache shard; drain() stops new admissions
+ * while the backlog completes; rejoin() puts the node back in service
+ * (cold caches and a reset monitor after a kill). With no fault plan,
+ * none of these paths execute and behaviour is unchanged.
  */
 
 #ifndef MODM_SERVING_NODE_HH
@@ -22,6 +29,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/sampled_vector.hh"
@@ -79,6 +87,27 @@ struct ClusterRunState
 };
 
 /**
+ * Where a node sends finished generations for cache admission. Under
+ * Replicated partitioning the front-end installs itself as the sink
+ * and fans each admission out to the k ring replicas; with no sink the
+ * node admits into its own shard (the Sharded / single-node path).
+ */
+class ReplicaSink
+{
+  public:
+    virtual ~ReplicaSink() = default;
+
+    /** Admit a generation produced on `origin` to its replica set. */
+    virtual void admitReplicated(std::size_t origin,
+                                 const diffusion::Image &image,
+                                 const embedding::Embedding
+                                     &text_embedding,
+                                 bool from_miss, std::uint32_t topic_id,
+                                 double now)
+        = 0;
+};
+
+/**
  * One serving node. Constructed by ServingSystem with a node-local
  * config (worker slice, cache shard capacity, per-node seed) derived
  * from the experiment config.
@@ -111,10 +140,50 @@ class ServingNode
     /** Schedule this node's first monitor tick (call once per run). */
     void scheduleMonitorTick();
 
+    /**
+     * Route generated content through the replica sink instead of the
+     * local shard (Replicated partitioning). Must be set before any
+     * warm-up or traffic.
+     */
+    void setReplicaSink(ReplicaSink *sink) { replicas_ = sink; }
+
+    /**
+     * Admit a generation into this node's own shard, bypassing the
+     * sink — the front-end calls this on each replica target. Counts
+     * a replica admission when `origin` is another node.
+     */
+    void admitLocal(std::size_t origin, const diffusion::Image &image,
+                    const embedding::Embedding &text_embedding,
+                    bool from_miss, double now);
+
+    /**
+     * Kill the node at time `now`: cancel in-flight completions and
+     * roll back their workers, drop the cache shard, and return every
+     * request this node still owed (queued, unclassified, and
+     * in-flight), in arrival order, for the front-end to re-route.
+     */
+    std::vector<workload::Request> kill(double now);
+
+    /**
+     * Drain: stop admitting (the front-end has already removed the
+     * node from routing) but keep serving the assigned backlog.
+     */
+    void drain(double now);
+
+    /** Return to service after a kill (cold) or drain (warm). */
+    void rejoin(double now);
+
+    /** False from kill() until rejoin(). */
+    bool alive() const { return alive_; }
+
+    /** True while draining (alive but not admitting). */
+    bool draining() const { return draining_; }
+
     /** Arrived-but-uncompleted requests (the routing load signal). */
     std::size_t outstanding() const
     {
-        return static_cast<std::size_t>(assigned_ - completed_);
+        return static_cast<std::size_t>(assigned_ - completed_ -
+                                        reroutedOut_);
     }
 
     /** Requests routed to this node so far. */
@@ -122,6 +191,25 @@ class ServingNode
 
     /** Requests this node completed so far. */
     std::uint64_t completedCount() const { return completed_; }
+
+    /** Requests surrendered to re-routing by kills. */
+    std::uint64_t reroutedOut() const { return reroutedOut_; }
+
+    /** In-flight generations aborted by kills. */
+    std::uint64_t abortedJobs() const { return abortedJobs_; }
+
+    /** Replica admissions received for other nodes' generations. */
+    std::uint64_t replicaAdmits() const { return replicaAdmits_; }
+
+    /** Seconds dead over the run (open interval closed at `until`). */
+    double downtimeS(double until) const;
+
+    /** Seconds draining over the run (closed at `until`). */
+    double drainedS(double until) const;
+
+    /** Down intervals, the open one (if any) closed at `until`. */
+    std::vector<std::pair<double, double>>
+    downIntervals(double until) const;
 
     /** Node index. */
     std::size_t id() const { return id_; }
@@ -145,6 +233,17 @@ class ServingNode
     NodeStats stats(double duration) const;
 
   private:
+    /** One dispatched generation awaiting its completion event. */
+    struct InFlightJob
+    {
+        sim::EventQueue::EventId event = 0;
+        std::size_t worker = 0;
+        ClassifiedJob job;
+        double dispatchTime = 0.0;
+        bool useLarge = false;
+        std::size_t smallIndex = 0;
+    };
+
     /** Move arrivals into classified queues while within lookahead. */
     void processIntake();
     /** Dispatch queued jobs to idle workers per current allocation. */
@@ -152,9 +251,7 @@ class ServingNode
     /** Worker role under the current allocation. */
     bool isLargeRole(std::size_t worker_index) const;
     /** Handle a finished generation. */
-    void onJobComplete(std::size_t worker_index, const ClassifiedJob &job,
-                       double dispatch_time, bool used_large,
-                       std::size_t small_index);
+    void onJobComplete(std::uint64_t job_id);
     /** Complete a direct (no-GPU) cache return. */
     void completeDirect(const ClassifiedJob &job);
     /** Monitor tick. */
@@ -164,6 +261,11 @@ class ServingNode
                        double finish, ServeKind kind,
                        const std::string &served_by,
                        const diffusion::Image *image);
+    /** Admit via the replica sink when set, locally otherwise. */
+    void admitGenerated(const diffusion::Image &image,
+                        const embedding::Embedding &text_embedding,
+                        bool from_miss, std::uint32_t topic_id,
+                        double now);
 
     ServingConfig config_;
     std::size_t id_;
@@ -181,9 +283,30 @@ class ServingNode
     std::deque<ClassifiedJob> largeQueue_;   // needs the large model
     std::deque<ClassifiedJob> smallQueue_;   // refinements for small
 
+    /** Dispatched jobs by node-local job id (insertion-ordered). */
+    std::map<std::uint64_t, InFlightJob> inFlight_;
+    std::uint64_t nextJobId_ = 0;
+
     Allocation allocation_;
     std::uint64_t assigned_ = 0;
     std::uint64_t completed_ = 0;
+
+    // Fault state. downSince_ < 0 and drainSince_ < 0 mean "not".
+    bool alive_ = true;
+    bool draining_ = false;
+    double downSince_ = -1.0;
+    double drainSince_ = -1.0;
+    double downtimeS_ = 0.0;
+    double drainedS_ = 0.0;
+    std::uint64_t reroutedOut_ = 0;
+    std::uint64_t abortedJobs_ = 0;
+    std::uint64_t replicaAdmits_ = 0;
+    std::vector<std::pair<double, double>> downIntervals_;
+    ReplicaSink *replicas_ = nullptr;
+
+    // Monitor tick bookkeeping (cancelled while the node is down).
+    sim::EventQueue::EventId monitorTick_ = 0;
+    bool monitorTickPending_ = false;
 
     // Per-monitor-period counters.
     std::uint64_t periodArrivals_ = 0;

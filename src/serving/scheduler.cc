@@ -162,6 +162,15 @@ RequestScheduler::setRetrievalLoad(double load)
 }
 
 void
+RequestScheduler::clearCaches()
+{
+    if (imageCache_)
+        imageCache_->clear();
+    if (latentCache_)
+        latentCache_->clear();
+}
+
+void
 RequestScheduler::reserveCache(std::size_t expected)
 {
     if (imageCache_)

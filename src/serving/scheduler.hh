@@ -157,6 +157,13 @@ class RequestScheduler
      */
     void setRetrievalLoad(double load);
 
+    /**
+     * Drop all cached content (image and latent caches): a killed
+     * node's shard dies with it, so a rejoin starts cold. Aggregate
+     * counters survive — they are run telemetry, not cache state.
+     */
+    void clearCaches();
+
   private:
     SystemKind kind_;
     double pineconeThreshold_;

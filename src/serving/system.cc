@@ -77,6 +77,26 @@ resultDigest(const ServingResult &result)
     }
     emit("outputs=%zu imageHash=%llx\n", result.images.size(),
          static_cast<unsigned long long>(imageHash));
+    // Failover telemetry appears only for runs with a fault plan, so
+    // every digest produced without one keeps its frozen format.
+    if (result.failover.active) {
+        const auto &fo = result.failover;
+        emit("F rerouted=%llu kill=%a pre=%a tput=%a rec=%a cap=%a\n",
+             static_cast<unsigned long long>(fo.rerouted),
+             fo.firstKillTime, fo.preFaultHitRate,
+             fo.preFaultThroughputPerMin, fo.hitRateRecoveryS,
+             fo.lostCapacityS);
+        for (const auto &n : fo.nodes) {
+            emit("D %zu rerouted=%llu aborted=%llu replicas=%llu "
+                 "down=%a drained=%a\n",
+                 n.node, static_cast<unsigned long long>(n.reroutedOut),
+                 static_cast<unsigned long long>(n.abortedJobs),
+                 static_cast<unsigned long long>(n.replicaAdmits),
+                 n.downtimeS, n.drainedS);
+            for (const auto &[from, to] : n.downIntervals)
+                emit("d %zu %a %a\n", n.node, from, to);
+        }
+    }
     return out;
 }
 
@@ -86,12 +106,13 @@ ServingSystem::nodeConfig(std::size_t node) const
     const std::size_t nodes = config_.cluster.numNodes;
     ServingConfig nc = config_;
     nc.numWorkers = cache::shardCapacity(config_.numWorkers, nodes, node);
-    if (config_.cluster.cachePartitioning == CachePartitioning::Sharded) {
-        nc.cacheCapacity =
-            cache::shardCapacity(config_.cacheCapacity, nodes, node);
-        nc.latentCacheCapacity = cache::shardCapacity(
-            config_.latentCacheCapacity, nodes, node);
-    }
+    // Both partitionings shard the physical budget; Replicated spends
+    // it on k copies per entry (same bytes, fewer unique entries)
+    // instead of k=1 with pure affinity placement.
+    nc.cacheCapacity =
+        cache::shardCapacity(config_.cacheCapacity, nodes, node);
+    nc.latentCacheCapacity = cache::shardCapacity(
+        config_.latentCacheCapacity, nodes, node);
     // Node 0 keeps the experiment seed so a one-node cluster is
     // byte-identical to the pre-cluster monolith; siblings get
     // decorrelated streams derived from it.
@@ -104,15 +125,52 @@ ServingSystem::ServingSystem(ServingConfig config)
     : config_(std::move(config)),
       router_(makeRouter(config_.cluster.routing,
                          config_.cluster.numNodes,
-                         config_.seed ^ 0x40a73e5ULL))
+                         config_.seed ^ kRingSeedSalt,
+                         config_.cluster.boundedLoadFactor))
 {
     MODM_ASSERT(config_.cluster.numNodes > 0,
                 "cluster needs at least one node");
+    validatePlan(config_.faults, config_.cluster.numNodes);
     nodes_.reserve(config_.cluster.numNodes);
     for (std::size_t n = 0; n < config_.cluster.numNodes; ++n) {
         nodes_.push_back(std::make_unique<ServingNode>(
             nodeConfig(n), n, events_, run_, result_));
     }
+    // Replica write-through needs a placement ring that matches the
+    // affinity routers' (same kRingSeedSalt-derived seed), so a
+    // topic's primary replica is exactly where consistent-hash
+    // routing sends its queries. A single node replicates onto
+    // itself, which is plain admission — skip the sink so the
+    // monolithic path stays untouched.
+    if (config_.cluster.cachePartitioning ==
+            CachePartitioning::Replicated &&
+        config_.cluster.numNodes > 1) {
+        MODM_ASSERT(config_.cluster.replicationFactor >= 1,
+                    "replication factor must be >= 1");
+        replicaRing_ = std::make_unique<HashRing>(
+            config_.cluster.numNodes, config_.seed ^ kRingSeedSalt);
+        for (auto &node : nodes_)
+            node->setReplicaSink(this);
+    }
+}
+
+void
+ServingSystem::admitReplicated(std::size_t origin,
+                               const diffusion::Image &image,
+                               const embedding::Embedding
+                                   &text_embedding,
+                               bool from_miss, std::uint32_t topic_id,
+                               double now)
+{
+    // The first k distinct alive owners clockwise of the topic. After
+    // a kill the ring heals so the dead primary's topics route to
+    // their old second replica — which is exactly who holds the data.
+    const auto targets = replicaRing_->owners(
+        replicaRing_->topicKey(topic_id),
+        config_.cluster.replicationFactor, router_->aliveMask());
+    for (const std::size_t target : targets)
+        nodes_[target]->admitLocal(origin, image, text_embedding,
+                                   from_miss, now);
 }
 
 void
@@ -121,13 +179,24 @@ ServingSystem::warmCache(const std::vector<workload::Prompt> &prompts)
     MODM_ASSERT(!ran_, "warmCache must precede run()");
     // Route everything first so each node reserves its exact share,
     // then admit node by node (node-major keeps the one-node case in
-    // the original admission order).
+    // the original admission order). Under replication a generation
+    // fans out to its k ring owners, so reservations count admission
+    // targets rather than generation sites.
     std::vector<std::vector<const workload::Prompt *>> perNode(
         nodes_.size());
-    for (const auto &prompt : prompts)
+    std::vector<std::size_t> admissions(nodes_.size(), 0);
+    for (const auto &prompt : prompts) {
         perNode[router_->routeWarm(prompt)].push_back(&prompt);
+        if (replicaRing_) {
+            for (const std::size_t target : replicaRing_->owners(
+                     replicaRing_->topicKey(prompt.topicId),
+                     config_.cluster.replicationFactor))
+                ++admissions[target];
+        }
+    }
     for (std::size_t n = 0; n < nodes_.size(); ++n) {
-        nodes_[n]->reserveWarm(perNode[n].size());
+        nodes_[n]->reserveWarm(replicaRing_ ? admissions[n]
+                                            : perNode[n].size());
         for (const workload::Prompt *prompt : perNode[n])
             nodes_[n]->warm(*prompt);
     }
@@ -140,6 +209,42 @@ ServingSystem::outstandingSnapshot() const
     for (std::size_t n = 0; n < nodes_.size(); ++n)
         outstanding[n] = nodes_[n]->outstanding();
     return outstanding;
+}
+
+void
+ServingSystem::deliver(const workload::Request &request)
+{
+    // Snapshot node state only for policies that read it; the
+    // stateless ones keep the arrival path allocation-free.
+    const std::size_t n = router_->needsOutstanding()
+        ? router_->route(request.prompt, outstandingSnapshot())
+        : router_->route(request.prompt, {});
+    nodes_[n]->onArrival(request);
+}
+
+void
+ServingSystem::onFault(const FaultEvent &event)
+{
+    const double now = events_.now();
+    switch (event.kind) {
+      case FaultKind::Kill: {
+        // Remove from routing first: the surrendered backlog must not
+        // route straight back onto the corpse.
+        router_->setNodeAlive(event.node, false);
+        const auto owed = nodes_[event.node]->kill(now);
+        for (const auto &request : owed)
+            deliver(request);
+        break;
+      }
+      case FaultKind::Drain:
+        router_->setNodeAlive(event.node, false);
+        nodes_[event.node]->drain(now);
+        break;
+      case FaultKind::Rejoin:
+        nodes_[event.node]->rejoin(now);
+        router_->setNodeAlive(event.node, true);
+        break;
+    }
 }
 
 ServingResult
@@ -160,15 +265,16 @@ ServingSystem::run(const workload::Trace &trace)
         result_.images.reserve(run_.total);
     }
 
+    // Fault events first: a kill scheduled at time t outranks every
+    // same-instant arrival and monitor tick (FIFO tie-break), so the
+    // node is gone before anything else observes that instant.
+    for (const auto &event : config_.faults.events) {
+        events_.schedule(event.time,
+                         [this, event]() { onFault(event); });
+    }
     for (const auto &request : trace) {
-        events_.schedule(request.arrival, [this, request]() {
-            // Snapshot node state only for policies that read it; the
-            // stateless ones keep the arrival path allocation-free.
-            const std::size_t n = router_->needsOutstanding()
-                ? router_->route(request.prompt, outstandingSnapshot())
-                : router_->route(request.prompt, {});
-            nodes_[n]->onArrival(request);
-        });
+        events_.schedule(request.arrival,
+                         [this, request]() { deliver(request); });
     }
     for (auto &node : nodes_)
         node->scheduleMonitorTick();
@@ -239,6 +345,26 @@ ServingSystem::run(const workload::Trace &trace)
         ? static_cast<double>(maxCompleted) / meanCompleted
         : 1.0;
     result_.hitRateSpread = nodes_.size() > 1 ? maxHit - minHit : 0.0;
+
+    // Failover telemetry only for runs that scripted faults; the
+    // default-constructed report keeps no-fault results untouched.
+    if (!config_.faults.empty()) {
+        result_.failover =
+            analyzeFailover(result_.metrics, config_.faults);
+        result_.failover.nodes.reserve(nodes_.size());
+        for (const auto &node : nodes_) {
+            NodeFailoverStats nf;
+            nf.node = node->id();
+            nf.reroutedOut = node->reroutedOut();
+            nf.abortedJobs = node->abortedJobs();
+            nf.replicaAdmits = node->replicaAdmits();
+            nf.downtimeS = node->downtimeS(result_.duration);
+            nf.drainedS = node->drainedS(result_.duration);
+            nf.downIntervals = node->downIntervals(result_.duration);
+            result_.failover.rerouted += nf.reroutedOut;
+            result_.failover.nodes.push_back(std::move(nf));
+        }
+    }
 
     return std::move(result_);
 }

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "src/serving/config.hh"
+#include "src/serving/fault.hh"
 #include "src/serving/metrics.hh"
 #include "src/serving/node.hh"
 #include "src/serving/router.hh"
@@ -81,6 +82,13 @@ struct ServingResult
     double loadImbalance = 1.0;
     /** Max minus min per-node hit rate (0 for one node). */
     double hitRateSpread = 0.0;
+
+    /**
+     * Failover telemetry: recovery times, rerouted-request ledger,
+     * per-node up/down intervals. Default-initialized (active=false)
+     * when the config carries no fault plan.
+     */
+    FailoverReport failover;
 };
 
 /**
@@ -98,9 +106,13 @@ struct ServingResult
 std::string resultDigest(const ServingResult &result);
 
 /**
- * The serving front-end.
+ * The serving front-end. Under Replicated partitioning it doubles as
+ * the nodes' ReplicaSink, fanning each finished generation out to the
+ * k alive ring successors of its topic; it also executes the fault
+ * plan — removing killed/draining nodes from routing, re-routing a
+ * killed node's backlog, and restoring rejoining nodes.
  */
-class ServingSystem
+class ServingSystem : private ReplicaSink
 {
   public:
     /** Build router and nodes (with per-node shards) from config. */
@@ -146,11 +158,26 @@ class ServingSystem
     /** Current per-node outstanding counts for the router. */
     std::vector<std::size_t> outstandingSnapshot() const;
 
+    /** Route one request to an admitting node and deliver it. */
+    void deliver(const workload::Request &request);
+
+    /** Execute one scripted fault event at its scheduled time. */
+    void onFault(const FaultEvent &event);
+
+    /** ReplicaSink: write-through to the k alive ring successors. */
+    void admitReplicated(std::size_t origin,
+                         const diffusion::Image &image,
+                         const embedding::Embedding &text_embedding,
+                         bool from_miss, std::uint32_t topic_id,
+                         double now) override;
+
     ServingConfig config_;
     sim::EventQueue events_;
     ClusterRunState run_;
     ServingResult result_;
     std::unique_ptr<Router> router_;
+    /** Replica placement ring (Replicated partitioning, > 1 node). */
+    std::unique_ptr<HashRing> replicaRing_;
     std::vector<std::unique_ptr<ServingNode>> nodes_;
     bool ran_ = false;
 };

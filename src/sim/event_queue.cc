@@ -4,24 +4,52 @@
 
 namespace modm::sim {
 
-void
+EventQueue::EventId
 EventQueue::schedule(double time, Handler handler)
 {
     MODM_ASSERT(time >= now_ - 1e-9,
                 "cannot schedule in the past (%f < %f)", time, now_);
-    events_.push(Event{time, nextSeq_++, std::move(handler)});
+    const EventId id = nextSeq_++;
+    events_.push(Event{time, id, std::move(handler)});
+    pending_.insert(id);
+    return id;
 }
 
-void
+EventQueue::EventId
 EventQueue::scheduleAfter(double delay, Handler handler)
 {
     MODM_ASSERT(delay >= 0.0, "negative delay");
-    schedule(now_ + delay, std::move(handler));
+    return schedule(now_ + delay, std::move(handler));
+}
+
+void
+EventQueue::cancel(EventId id)
+{
+    // Rejecting non-pending ids here keeps the tombstone set an exact
+    // complement of the heap: a stale cancel would otherwise leave a
+    // tombstone that never retires and corrupt the size() ledger.
+    MODM_ASSERT(pending_.erase(id) == 1,
+                "cancel of event %llu which is not pending",
+                static_cast<unsigned long long>(id));
+    cancelled_.insert(id);
+}
+
+void
+EventQueue::discardCancelled() const
+{
+    while (!events_.empty()) {
+        const auto it = cancelled_.find(events_.top().seq);
+        if (it == cancelled_.end())
+            return;
+        cancelled_.erase(it);
+        events_.pop();
+    }
 }
 
 double
 EventQueue::peekTime() const
 {
+    discardCancelled();
     MODM_ASSERT(!events_.empty(), "peekTime on empty queue");
     return events_.top().time;
 }
@@ -29,11 +57,13 @@ EventQueue::peekTime() const
 bool
 EventQueue::runNext()
 {
+    discardCancelled();
     if (events_.empty())
         return false;
     // Copy out before pop: the handler may schedule new events.
     Event event = events_.top();
     events_.pop();
+    pending_.erase(event.seq);
     now_ = event.time;
     event.handler();
     return true;
@@ -49,8 +79,12 @@ EventQueue::runAll()
 void
 EventQueue::runUntil(double limit)
 {
-    while (!events_.empty() && events_.top().time <= limit)
+    for (;;) {
+        discardCancelled();
+        if (events_.empty() || events_.top().time > limit)
+            break;
         runNext();
+    }
     if (now_ < limit)
         now_ = limit;
 }

@@ -3,6 +3,13 @@
  * Discrete-event simulation core: a time-ordered queue of callbacks with
  * a virtual clock. All serving experiments run on virtual time, making
  * hour-long GPU-cluster traces reproducible and fast.
+ *
+ * Events are cancellable: schedule() returns an EventId that cancel()
+ * invalidates. Cancellation is how the fault-injection subsystem models
+ * node death — a killed node's in-flight completions and monitor ticks
+ * simply never fire. Cancelled events are discarded lazily when they
+ * reach the head of the queue, so cancellation is O(1) and a queue that
+ * never cancels behaves exactly as before.
  */
 
 #ifndef MODM_SIM_EVENT_QUEUE_HH
@@ -11,6 +18,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 namespace modm::sim {
@@ -25,22 +33,38 @@ class EventQueue
   public:
     using Handler = std::function<void()>;
 
-    /** Schedule a callback at an absolute virtual time >= now(). */
-    void schedule(double time, Handler handler);
+    /** Handle identifying one scheduled event (for cancel()). */
+    using EventId = std::uint64_t;
+
+    /**
+     * Schedule a callback at an absolute virtual time >= now().
+     * Returns a handle that cancel() accepts.
+     */
+    EventId schedule(double time, Handler handler);
 
     /** Schedule a callback `delay` seconds from now. */
-    void scheduleAfter(double delay, Handler handler);
+    EventId scheduleAfter(double delay, Handler handler);
+
+    /**
+     * Cancel a pending event: its handler will never run. The id must
+     * refer to an event that has neither run nor been cancelled —
+     * enforced against the pending-id set, so cancelling an event
+     * that already fired is a deterministic panic instead of silent
+     * ledger corruption. (Callers track completion anyway: the
+     * serving nodes erase in-flight records when a completion fires.)
+     */
+    void cancel(EventId id);
 
     /** Current virtual time (seconds). */
     double now() const { return now_; }
 
-    /** True when no events are pending. */
-    bool empty() const { return events_.empty(); }
+    /** True when no live (non-cancelled) events are pending. */
+    bool empty() const { return pending_.empty(); }
 
-    /** Number of pending events. */
-    std::size_t size() const { return events_.size(); }
+    /** Number of live (non-cancelled) pending events. */
+    std::size_t size() const { return pending_.size(); }
 
-    /** Time of the earliest pending event; panics when empty. */
+    /** Time of the earliest live pending event; panics when empty. */
     double peekTime() const;
 
     /**
@@ -77,7 +101,18 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Event, std::vector<Event>, Later> events_;
+    /** Pop cancelled events off the head until a live one surfaces. */
+    void discardCancelled() const;
+
+    // Lazy cancellation: the heap is immutable in place, so cancelled
+    // ids wait in a side set until they surface at the head. The
+    // pending set (ids scheduled, not yet run or cancelled) backs
+    // size()/empty() and lets cancel() reject stale ids. mutable:
+    // discarding tombstones from the head is observation, not state —
+    // peekTime()/empty() stay const.
+    mutable std::priority_queue<Event, std::vector<Event>, Later> events_;
+    mutable std::unordered_set<EventId> cancelled_;
+    std::unordered_set<EventId> pending_;
     double now_ = 0.0;
     std::uint64_t nextSeq_ = 0;
 };

@@ -29,8 +29,29 @@ Worker::startJob(const diffusion::ModelSpec &model, int steps, double now)
     freeAt_ = start + compute;
     ++stats_.jobs;
     stats_.busySeconds += freeAt_ - now;
-    stats_.computeEnergyJ += model.stepEnergyJ(kind_, steps);
+    jobStartedAt_ = now;
+    jobEnergyJ_ = model.stepEnergyJ(kind_, steps);
+    stats_.computeEnergyJ += jobEnergyJ_;
     return freeAt_;
+}
+
+void
+Worker::abortJob(double now)
+{
+    if (!busyAt(now))
+        return;
+    // Roll accounting back to the executed fraction: the GPU burned
+    // power only until the kill, and the unfinished output is lost.
+    const double span = freeAt_ - jobStartedAt_;
+    const double executed =
+        span > 0.0 ? (now - jobStartedAt_) / span : 1.0;
+    stats_.busySeconds -= freeAt_ - now;
+    stats_.computeEnergyJ -= (1.0 - executed) * jobEnergyJ_;
+    ++stats_.abortedJobs;
+    freeAt_ = now;
+    jobEnergyJ_ = 0.0;
+    // The process died with the model in memory; a rejoin reloads.
+    residentModel_.clear();
 }
 
 double

@@ -24,6 +24,8 @@ struct WorkerStats
 {
     std::uint64_t jobs = 0;
     std::uint64_t modelSwitches = 0;
+    /** Jobs aborted mid-flight by a node fault (work discarded). */
+    std::uint64_t abortedJobs = 0;
     double busySeconds = 0.0;
     double switchSeconds = 0.0;
     double computeEnergyJ = 0.0;
@@ -65,6 +67,15 @@ class Worker
     double startJob(const diffusion::ModelSpec &model, int steps,
                     double now);
 
+    /**
+     * Abort the in-flight job at time `now` (node kill): the worker
+     * becomes free immediately, busy time and compute energy are
+     * rolled back to the fraction actually executed, and the resident
+     * model is dropped (a restarted node reloads from scratch). No-op
+     * when idle.
+     */
+    void abortJob(double now);
+
     /** Counters. */
     const WorkerStats &stats() const { return stats_; }
 
@@ -80,6 +91,9 @@ class Worker
     double idlePowerW_;
     std::string residentModel_;
     double freeAt_ = 0.0;
+    // In-flight job bookkeeping so abortJob can roll back accounting.
+    double jobStartedAt_ = 0.0;
+    double jobEnergyJ_ = 0.0;
     WorkerStats stats_;
 };
 

@@ -109,6 +109,14 @@ TEST(MultiNode, SingleNodeDigestsMatchPreRefactorBaseline)
     // system kind (and the quality/admission variants the sweep
     // property test exercises) must keep reproducing them at the
     // default numNodes=1.
+    //
+    // Re-pinned once (PR 5) for the 4-way multi-accumulator
+    // modm::dot: blocked summation rounds differently in the last
+    // ulp than the sequential chain, which shifts the hex-float
+    // similarity bits these digests capture. Every figure/table
+    // binary (rounded output) was verified byte-identical across the
+    // change; vanilla/standalone digests (no retrieval path) kept
+    // their original hashes untouched.
     const auto params = smallParams();
     const auto ddb = [] { return ddbBundle(120, 150, 12.0); };
     const auto mjhq = [] {
@@ -128,21 +136,21 @@ TEST(MultiNode, SingleNodeDigestsMatchPreRefactorBaseline)
                       ddb, 0x0eaa3a454f9e8ceeULL});
     pinned.push_back({"nirvana",
                       baselines::nirvana(diffusion::sd35Large(), params),
-                      ddb, 0xd7e98658ef742ec4ULL});
+                      ddb, 0x3809c9689bb64dc6ULL});
     pinned.push_back({"pinecone",
                       baselines::pinecone(diffusion::sd35Large(), params),
-                      mjhq, 0x301944914923fa0fULL});
+                      mjhq, 0xc1289beb17ee0c2dULL});
     pinned.push_back({"modm",
                       baselines::modm(diffusion::sd35Large(),
                                       diffusion::sdxl(), params),
-                      ddb, 0xde1026f0775fcef7ULL});
+                      ddb, 0x6e46720f878f8cc1ULL});
     auto quality = baselines::modmMulti(
         diffusion::sd35Large(), {diffusion::sdxl(), diffusion::sana()},
         params);
     quality.mode = MonitorMode::QualityOptimized;
     quality.keepOutputs = true;
     pinned.push_back({"modm-quality", quality, mjhq,
-                      0x742db2466fac78ceULL});
+                      0xf57e50ba5aa86871ULL});
     pinned.push_back({"standalone",
                       baselines::standalone(diffusion::sana(), params),
                       ddb, 0xae340955efc7bca8ULL});
@@ -150,7 +158,7 @@ TEST(MultiNode, SingleNodeDigestsMatchPreRefactorBaseline)
                                       diffusion::sana(), params);
     cacheLarge.admission = AdmissionPolicy::CacheLargeOnly;
     pinned.push_back({"modm-cachelarge", cacheLarge, ddb,
-                      0xefa1b0937d9af03aULL});
+                      0xdfa510ae757fbd09ULL});
 
     for (const auto &cell : pinned) {
         const auto result = bench::runSystem(cell.config, cell.bundle());

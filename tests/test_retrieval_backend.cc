@@ -86,12 +86,14 @@ class ReferenceIndex
         scored.reserve(ids_.size());
         const float *q = query.vec().data();
         for (std::size_t slot = 0; slot < ids_.size(); ++slot) {
-            double acc = 0.0;
+            // Score through the shared modm::dot so the seam this
+            // reference pins is the index bookkeeping (insert /
+            // remove / slot tie-break / merge), not the dot's
+            // floating-point association order — the multi-
+            // accumulator unroll legitimately rounds differently in
+            // the last ulp than a naive sequential chain would.
             const float *row = &rows_[slot * dim_];
-            for (std::size_t d = 0; d < dim_; ++d)
-                acc += static_cast<double>(q[d]) *
-                    static_cast<double>(row[d]);
-            scored.push_back({slot, acc});
+            scored.push_back({slot, dot(q, row, dim_)});
         }
         std::sort(scored.begin(), scored.end(),
                   [](const SlotScore &a, const SlotScore &b) {

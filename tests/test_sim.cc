@@ -71,6 +71,65 @@ TEST(EventQueue, PeekTime)
     EXPECT_DOUBLE_EQ(q.peekTime(), 7.0);
 }
 
+TEST(EventQueue, CancelledEventNeverRuns)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(1.0, [&] { order.push_back(1); });
+    const auto doomed = q.schedule(2.0, [&] { order.push_back(2); });
+    q.schedule(3.0, [&] { order.push_back(3); });
+    EXPECT_EQ(q.size(), 3u);
+    q.cancel(doomed);
+    EXPECT_EQ(q.size(), 2u);
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 3}));
+    EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, CancelFromInsideAHandler)
+{
+    EventQueue q;
+    std::vector<int> order;
+    EventQueue::EventId doomed = 0;
+    q.schedule(1.0, [&] {
+        order.push_back(1);
+        q.cancel(doomed);
+    });
+    doomed = q.schedule(2.0, [&] { order.push_back(2); });
+    q.schedule(2.0, [&] { order.push_back(3); });
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, CancelHeadAdvancesPeekAndEmpty)
+{
+    EventQueue q;
+    int ran = 0;
+    const auto head = q.schedule(1.0, [&] { ++ran; });
+    q.schedule(5.0, [&] { ++ran; });
+    q.cancel(head);
+    EXPECT_DOUBLE_EQ(q.peekTime(), 5.0);
+    q.runAll();
+    EXPECT_EQ(ran, 1);
+    // Cancelling everything leaves an empty queue and runAll a no-op.
+    const auto last = q.schedule(9.0, [&] { ++ran; });
+    q.cancel(last);
+    EXPECT_TRUE(q.empty());
+    q.runAll();
+    EXPECT_EQ(ran, 1);
+    EXPECT_DOUBLE_EQ(q.now(), 5.0);
+}
+
+TEST(EventQueue, CancelOfAlreadyRunEventPanics)
+{
+    // A stale cancel would leave a tombstone that never retires and
+    // corrupt the pending ledger; the queue rejects it outright.
+    EventQueue q;
+    const auto ran = q.schedule(1.0, [] {});
+    q.runAll();
+    EXPECT_DEATH(q.cancel(ran), "not pending");
+}
+
 TEST(Worker, JobLatencyMatchesModelProfile)
 {
     Worker w(0, diffusion::GpuKind::A40);
@@ -114,6 +173,28 @@ TEST(Worker, EnergyIncludesComputeAndIdle)
         model.stepEnergyJ(diffusion::GpuKind::A40, 50) +
         (duration - w.stats().busySeconds) * 60.0;
     EXPECT_NEAR(w.totalEnergyJ(duration), expected, 1e-6);
+}
+
+TEST(Worker, AbortRollsBackToExecutedFraction)
+{
+    Worker w(0, diffusion::GpuKind::A40, /*idle_power_w=*/60.0);
+    const auto model = diffusion::sd35Large();
+    const double finish = w.startJob(model, 50, 0.0);
+    const double kill = finish / 2.0;
+    w.abortJob(kill);
+    EXPECT_FALSE(w.busyAt(kill));
+    EXPECT_DOUBLE_EQ(w.freeAt(), kill);
+    EXPECT_EQ(w.stats().abortedJobs, 1u);
+    // Busy time and energy cover only the executed half.
+    EXPECT_NEAR(w.stats().busySeconds, kill, 1e-9);
+    EXPECT_NEAR(w.stats().computeEnergyJ,
+                0.5 * model.stepEnergyJ(diffusion::GpuKind::A40, 50),
+                1e-6);
+    // The process died: the resident model must reload.
+    EXPECT_TRUE(w.residentModel().empty());
+    // Aborting an idle worker is a no-op.
+    w.abortJob(kill + 1.0);
+    EXPECT_EQ(w.stats().abortedJobs, 1u);
 }
 
 TEST(Worker, GpuKindSelectsLatencyColumn)
