@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Execute any scenario file (scenarios/<name>.scn) through the sweep
+ * engine.
+ *
+ * stdout carries exactly the rendered report table — byte-identical
+ * across sweep parallelism levels, and byte-identical to the legacy
+ * hard-coded figure binary for the scenarios that port one (pinned by
+ * the scenario-goldens CI job). Digests (the scenario's semantic digest
+ * plus one result digest per cell) go to stderr and, with
+ * --digest-out, to a file the CI job diffs against the checked-in
+ * golden.
+ *
+ * Usage: run_scenario <file.scn> [--digest-out <path>] [--canonical]
+ *   --canonical  print the canonical serialization to stdout and exit
+ *                (normalizes hand-written scenario files for review).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/sweep.hh"
+#include "src/serving/scenario_exec.hh"
+#include "src/workload/scenario.hh"
+
+using namespace modm;
+
+namespace {
+
+/**
+ * Sweep banner: the title up to the first " — " separator (so the
+ * Fig. 6 port shows "[Fig. 6]" progress lines exactly like the legacy
+ * binary), the scenario name when there is no title.
+ */
+std::string
+sweepTitle(const workload::Scenario &scenario)
+{
+    if (scenario.title.empty())
+        return scenario.name;
+    const auto cut = scenario.title.find(" — ");
+    return cut == std::string::npos ? scenario.title
+                                    : scenario.title.substr(0, cut);
+}
+
+/** Table banner: the title verbatim, the scenario name otherwise. */
+std::string
+tableTitle(const workload::Scenario &scenario)
+{
+    return scenario.title.empty() ? "scenario " + scenario.name
+                                  : scenario.title;
+}
+
+/** Hex-float digest of a hit-rate curve (resultDigest convention). */
+std::uint64_t
+curveDigest(const std::vector<double> &curve)
+{
+    std::string text;
+    char buf[64];
+    for (const double v : curve) {
+        std::snprintf(buf, sizeof buf, "%a\n", v);
+        text += buf;
+    }
+    return workload::fnv1a64(text);
+}
+
+/** One "key value" digest line in the canonical %016llx format. */
+std::string
+digestLine(const std::string &key, std::uint64_t digest)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(digest));
+    return key + " " + buf + "\n";
+}
+
+void
+renderHitCurve(const workload::Scenario &scenario,
+               const std::vector<workload::ScenarioCell> &cells,
+               const std::vector<std::vector<double>> &curves)
+{
+    std::vector<std::string> headers = {"requests"};
+    for (const auto &cell : cells)
+        headers.push_back("hit rate (" + cell.label + ")");
+    Table t(headers);
+    const std::size_t rows = curves.empty() ? 0 : curves.front().size();
+    for (std::size_t i = 0; i < rows; ++i) {
+        std::vector<std::string> row = {Table::fmt(
+            static_cast<std::uint64_t>((i + 1) * scenario.window))};
+        for (const auto &curve : curves)
+            row.push_back(Table::fmt(curve[i], 3));
+        t.addRow(row);
+    }
+    t.print(tableTitle(scenario));
+}
+
+void
+renderEnergy(const workload::Scenario &scenario,
+             const std::vector<workload::ScenarioCell> &cells,
+             const std::vector<serving::ServingResult> &results)
+{
+    std::vector<double> energyPerRequest;
+    for (const auto &result : results)
+        energyPerRequest.push_back(result.energyJ /
+                                   result.metrics.count());
+
+    Table t({"system", "energy/request (kJ)", "savings", "paper"});
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const double savings =
+            1.0 - energyPerRequest[i] / energyPerRequest.front();
+        t.addRow({cells[i].label,
+                  Table::fmt(energyPerRequest[i] / 1e3, 1),
+                  Table::fmt(100.0 * savings, 1) + "%",
+                  cells[i].paper});
+    }
+    t.print(tableTitle(scenario));
+}
+
+void
+renderTable(const workload::Scenario &scenario,
+            const std::vector<workload::ScenarioCell> &cells,
+            const std::vector<serving::ServingResult> &results)
+{
+    Table t({"cell", "completed", "throughput/min", "hit rate",
+             "mean latency (s)", "p99 (s)", "energy (kJ)"});
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const auto &r = results[i];
+        t.addRow({cells[i].label,
+                  Table::fmt(static_cast<std::uint64_t>(
+                      r.metrics.count())),
+                  Table::fmt(r.throughputPerMin, 1),
+                  Table::fmt(r.hitRate, 3),
+                  Table::fmt(r.metrics.meanLatency(), 2),
+                  Table::fmt(r.metrics.latencyPercentile(99.0), 2),
+                  Table::fmt(r.energyJ / 1e3, 1)});
+    }
+    t.print(tableTitle(scenario));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string path;
+    std::string digestOut;
+    bool canonical = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--canonical") == 0) {
+            canonical = true;
+        } else if (std::strcmp(argv[i], "--digest-out") == 0) {
+            if (++i >= argc)
+                fatal("--digest-out needs a path");
+            digestOut = argv[i];
+        } else if (path.empty()) {
+            path = argv[i];
+        } else {
+            fatal("usage: run_scenario <file.scn> "
+                  "[--digest-out <path>] [--canonical]");
+        }
+    }
+    if (path.empty())
+        fatal("usage: run_scenario <file.scn> "
+              "[--digest-out <path>] [--canonical]");
+
+    const auto scenario = workload::loadScenarioFile(path);
+    if (canonical) {
+        std::fputs(workload::canonicalScenario(scenario).c_str(),
+                   stdout);
+        return 0;
+    }
+
+    std::vector<workload::ScenarioCell> cells;
+    for (std::size_t i = 0; i < scenario.cellCount(); ++i)
+        cells.push_back(scenario.cell(i));
+
+    bench::SweepOptions options;
+    options.title = sweepTitle(scenario);
+    std::vector<std::string> labels;
+    for (const auto &cell : cells)
+        labels.push_back(cell.label);
+
+    // Digest text: scenario digest first, then one line per cell, then
+    // a combined digest folding the cell lines over the scenario's.
+    std::string digests =
+        digestLine("scenario " + scenario.name,
+                   workload::scenarioDigest(scenario));
+    std::uint64_t combined = workload::scenarioDigest(scenario);
+
+    if (scenario.mode == workload::ScenarioMode::CacheStream) {
+        std::vector<std::function<std::vector<double>()>> cellFns;
+        for (const auto &cell : cells) {
+            cellFns.push_back([&scenario, cell] {
+                return serving::runScenarioCacheStream(scenario, cell);
+            });
+        }
+        const auto curves = bench::runCells<std::vector<double>>(
+            cellFns, options, labels);
+        renderHitCurve(scenario, cells, curves);
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            const auto line =
+                digestLine("cell " + cells[i].label,
+                           curveDigest(curves[i]));
+            digests += line;
+            combined = workload::fnv1a64(line, combined);
+        }
+    } else {
+        std::vector<std::function<serving::ServingResult()>> cellFns;
+        for (const auto &cell : cells) {
+            cellFns.push_back([&scenario, cell] {
+                return serving::runScenarioCell(scenario, cell);
+            });
+        }
+        const auto results = bench::runCells<serving::ServingResult>(
+            cellFns, options, labels);
+        if (scenario.report == workload::ScenarioReport::Energy)
+            renderEnergy(scenario, cells, results);
+        else
+            renderTable(scenario, cells, results);
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            const auto line = digestLine(
+                "cell " + cells[i].label,
+                workload::fnv1a64(serving::resultDigest(results[i])));
+            digests += line;
+            combined = workload::fnv1a64(line, combined);
+        }
+    }
+    digests += digestLine("combined", combined);
+
+    std::fputs(digests.c_str(), stderr);
+    if (!digestOut.empty()) {
+        FILE *f = std::fopen(digestOut.c_str(), "w");
+        if (!f)
+            fatal("cannot write %s", digestOut.c_str());
+        std::fputs(digests.c_str(), f);
+        std::fclose(f);
+    }
+    return 0;
+}

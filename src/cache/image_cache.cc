@@ -158,6 +158,15 @@ ImageCache::pickUtilityVictim()
 }
 
 void
+ImageCache::setCapacity(std::size_t capacity)
+{
+    MODM_ASSERT(capacity > 0, "cache capacity must be positive");
+    capacity_ = capacity;
+    while (entries_.size() > capacity_)
+        evictOne();
+}
+
+void
 ImageCache::evictOne()
 {
     MODM_ASSERT(!entries_.empty(), "evict on empty cache");

@@ -143,6 +143,13 @@ class ImageCache
     /** Capacity. */
     std::size_t capacity() const { return capacity_; }
 
+    /**
+     * Change the capacity mid-run (scripted knob change). Shrinking
+     * evicts down to the new bound under the active eviction policy;
+     * growing just raises the bound.
+     */
+    void setCapacity(std::size_t capacity);
+
     /** Total bytes of cached images (storage accounting). */
     double storedBytes() const { return storedBytes_; }
 

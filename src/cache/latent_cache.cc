@@ -107,6 +107,15 @@ LatentCache::entry(std::uint64_t entry_id) const
 }
 
 void
+LatentCache::setCapacity(std::size_t capacity)
+{
+    MODM_ASSERT(capacity > 0, "cache capacity must be positive");
+    capacity_ = capacity;
+    while (entries_.size() > capacity_)
+        evictOne();
+}
+
+void
 LatentCache::evictOne()
 {
     // Nirvana keeps high-utility latents: sampled eviction of the

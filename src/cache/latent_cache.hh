@@ -128,6 +128,15 @@ class LatentCache
     /** Number of cached latent sets. */
     std::size_t size() const { return entries_.size(); }
 
+    /** Capacity. */
+    std::size_t capacity() const { return capacity_; }
+
+    /**
+     * Change the capacity mid-run (scripted knob change). Shrinking
+     * evicts down to the new bound; growing just raises it.
+     */
+    void setCapacity(std::size_t capacity);
+
     /** Bytes stored (latentSetBytes per entry). */
     double storedBytes() const { return storedBytes_; }
 

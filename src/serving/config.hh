@@ -19,6 +19,7 @@
 #include "src/embedding/vector_index.hh"
 #include "src/serving/fault.hh"
 #include "src/serving/k_decision.hh"
+#include "src/serving/knobs.hh"
 #include "src/serving/monitor.hh"
 #include "src/serving/pid.hh"
 #include "src/serving/router.hh"
@@ -133,6 +134,13 @@ struct ServingConfig
      * subsystem.
      */
     FaultPlan faults = {};
+
+    /**
+     * Scripted mid-run reconfigurations (monitor mode, cache
+     * capacity, replication factor) on the virtual clock. Like the
+     * fault plan, the default empty plan is a strict no-op.
+     */
+    KnobPlan knobs = {};
 
     /** Image cache (MoDM / Pinecone). */
     std::size_t cacheCapacity = 10000;

@@ -99,6 +99,17 @@ class GlobalMonitor
     Allocation current() const { return current_; }
 
     /**
+     * Switch the operating mode mid-run (scripted knob change). The
+     * controller state is kept — the next update re-targets under the
+     * new mode from the current allocation, like a live mode flip
+     * would.
+     */
+    void setMode(MonitorMode mode) { config_.mode = mode; }
+
+    /** Active operating mode. */
+    MonitorMode mode() const { return config_.mode; }
+
+    /**
      * Forget controller history after a node outage (fault rejoin):
      * the PID integral and derivative accumulated against a cluster
      * state that no longer exists, so the next update reacts to fresh

@@ -409,6 +409,22 @@ ServingNode::rejoin(double now)
     }
 }
 
+void
+ServingNode::setMonitorMode(MonitorMode mode)
+{
+    config_.mode = mode;
+    if (monitor_)
+        monitor_->setMode(mode);
+}
+
+void
+ServingNode::setCacheShardCapacity(std::size_t capacity)
+{
+    config_.cacheCapacity = capacity;
+    config_.latentCacheCapacity = capacity;
+    scheduler_->setCacheCapacity(capacity);
+}
+
 double
 ServingNode::downtimeS(double until) const
 {

@@ -173,6 +173,19 @@ class ServingNode
     /** Return to service after a kill (cold) or drain (warm). */
     void rejoin(double now);
 
+    /**
+     * Scripted knob change: flip this node's monitor mode. The next
+     * monitor tick re-targets under the new mode.
+     */
+    void setMonitorMode(MonitorMode mode);
+
+    /**
+     * Scripted knob change: re-bound this node's cache shard (image
+     * and latent alike) to `capacity` entries, evicting down when
+     * shrinking.
+     */
+    void setCacheShardCapacity(std::size_t capacity);
+
     /** False from kill() until rejoin(). */
     bool alive() const { return alive_; }
 

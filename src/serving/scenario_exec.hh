@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Scenario execution: maps a parsed workload::Scenario cell onto the
+ * serving stack and runs it.
+ *
+ * The workload layer owns the scenario grammar and trace construction
+ * (src/workload/scenario.hh); this module owns everything that needs
+ * the serving headers — building a ServingConfig through the baselines
+ * presets (so a scenario cell that names a preset system is
+ * byte-identical to the hard-coded bench config it replaces), compiling
+ * fault ops into a FaultPlan and knob ops into a KnobPlan, and the
+ * streamed-cache runner that reproduces the Fig. 6 hit-rate loop.
+ *
+ * bench/run_scenario and the test suite both execute cells through
+ * these entry points, which is what lets tests pin a scenario's
+ * resultDigest against the legacy inline code path.
+ */
+
+#ifndef MODM_SERVING_SCENARIO_EXEC_HH
+#define MODM_SERVING_SCENARIO_EXEC_HH
+
+#include <vector>
+
+#include "src/serving/config.hh"
+#include "src/serving/system.hh"
+#include "src/workload/scenario.hh"
+
+namespace modm::serving {
+
+/**
+ * Build the full ServingConfig for one resolved scenario cell: the
+ * preset named by the cell's system (with the cell's large/small
+ * models, workers, GPU, cache capacity, and the scenario seed), then
+ * the cluster / eviction / retrieval knobs, the fault plan (with the
+ * scenario's recovery window), and the knob plan layered on top. A
+ * cell that keeps every header default reproduces the preset verbatim.
+ */
+ServingConfig scenarioCellConfig(const workload::Scenario &scenario,
+                                 const workload::ScenarioCell &cell);
+
+/**
+ * Run one serving-mode cell: build the scenario workload, warm the
+ * caches when the scenario asks for it, and replay the trace. Each
+ * call is an independent experiment (cells share nothing), so cells
+ * may run concurrently under the sweep engine.
+ */
+ServingResult runScenarioCell(const workload::Scenario &scenario,
+                              const workload::ScenarioCell &cell);
+
+/**
+ * Run one cache-stream cell: the streamed cache simulation of Fig. 6
+ * (classify each prompt against an ImageCache, admit the simulated
+ * generation, report the hit rate per window of `scenario.window`
+ * requests). Uses the cell's cache capacity / eviction policy and
+ * models, the scenario's dataset and seed, and the scenario's sampler
+ * seed for the refinement substrate.
+ */
+std::vector<double>
+runScenarioCacheStream(const workload::Scenario &scenario,
+                       const workload::ScenarioCell &cell);
+
+} // namespace modm::serving
+
+#endif // MODM_SERVING_SCENARIO_EXEC_HH

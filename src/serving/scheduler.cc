@@ -180,6 +180,15 @@ RequestScheduler::reserveCache(std::size_t expected)
 }
 
 void
+RequestScheduler::setCacheCapacity(std::size_t capacity)
+{
+    if (imageCache_)
+        imageCache_->setCapacity(capacity);
+    if (latentCache_)
+        latentCache_->setCapacity(capacity);
+}
+
+void
 RequestScheduler::admitGenerated(const diffusion::Image &image,
                                  const embedding::Embedding &text_embedding,
                                  bool from_miss, double now)

@@ -98,6 +98,13 @@ class RequestScheduler
     void reserveCache(std::size_t expected);
 
     /**
+     * Re-bound whichever cache this system runs (image and/or latent)
+     * to a new shard capacity; shrinking evicts down under the shard's
+     * own eviction policy. Scripted knob changes land here.
+     */
+    void setCacheCapacity(std::size_t capacity);
+
+    /**
      * Admit a finished generation to the cache per the system's
      * admission policy.
      *

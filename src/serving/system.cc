@@ -131,6 +131,7 @@ ServingSystem::ServingSystem(ServingConfig config)
     MODM_ASSERT(config_.cluster.numNodes > 0,
                 "cluster needs at least one node");
     validatePlan(config_.faults, config_.cluster.numNodes);
+    validateKnobPlan(config_.knobs, config_);
     nodes_.reserve(config_.cluster.numNodes);
     for (std::size_t n = 0; n < config_.cluster.numNodes; ++n) {
         nodes_.push_back(std::make_unique<ServingNode>(
@@ -247,6 +248,29 @@ ServingSystem::onFault(const FaultEvent &event)
     }
 }
 
+void
+ServingSystem::onKnob(const KnobEvent &event)
+{
+    switch (event.target) {
+      case KnobTarget::MonitorMode:
+        for (auto &node : nodes_)
+            node->setMonitorMode(event.mode);
+        break;
+      case KnobTarget::CacheCapacity:
+        // Re-shard the cluster-wide budget with the same split as
+        // construction; each shard evicts down under its own policy.
+        for (std::size_t n = 0; n < nodes_.size(); ++n)
+            nodes_[n]->setCacheShardCapacity(
+                cache::shardCapacity(event.value, nodes_.size(), n));
+        break;
+      case KnobTarget::ReplicationFactor:
+        // Read on every subsequent replicated admission; a single
+        // node has no ring and the change is a no-op there.
+        config_.cluster.replicationFactor = event.value;
+        break;
+    }
+}
+
 ServingResult
 ServingSystem::run(const workload::Trace &trace)
 {
@@ -271,6 +295,12 @@ ServingSystem::run(const workload::Trace &trace)
     for (const auto &event : config_.faults.events) {
         events_.schedule(event.time,
                          [this, event]() { onFault(event); });
+    }
+    // Knob changes after same-instant faults but before arrivals, so a
+    // reconfiguration at time t governs every request arriving at t.
+    for (const auto &event : config_.knobs.events) {
+        events_.schedule(event.time,
+                         [this, event]() { onKnob(event); });
     }
     for (const auto &request : trace) {
         events_.schedule(request.arrival,

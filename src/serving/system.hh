@@ -164,6 +164,9 @@ class ServingSystem : private ReplicaSink
     /** Execute one scripted fault event at its scheduled time. */
     void onFault(const FaultEvent &event);
 
+    /** Execute one scripted knob change at its scheduled time. */
+    void onKnob(const KnobEvent &event);
+
     /** ReplicaSink: write-through to the k alive ring successors. */
     void admitReplicated(std::size_t origin,
                          const diffusion::Image &image,

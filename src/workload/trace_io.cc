@@ -83,12 +83,12 @@ splitRow(const std::string &line)
     return fields;
 }
 
-} // namespace
+/** Annotation marker: event lines between the header and the rows. */
+constexpr char kEventPrefix[] = "#@ ";
 
 void
-saveTrace(const Trace &trace, std::ostream &out)
+writeRows(const Trace &trace, std::ostream &out)
 {
-    out << kHeader << '\n';
     for (const auto &request : trace) {
         const auto &p = request.prompt;
         out.precision(9);
@@ -97,6 +97,41 @@ saveTrace(const Trace &trace, std::ostream &out)
             << ',' << encodeVec(p.visualConcept) << ','
             << encodeVec(p.lexicalStyle) << '\n';
     }
+}
+
+Request
+parseRow(const std::string &line)
+{
+    const auto fields = splitRow(line);
+    if (fields.size() != 8)
+        fatal("malformed trace row with %zu fields", fields.size());
+    Request request;
+    request.arrival = std::stod(fields[0]);
+    request.prompt.id = std::stoull(fields[1]);
+    request.prompt.topicId =
+        static_cast<std::uint32_t>(std::stoul(fields[2]));
+    request.prompt.userId =
+        static_cast<std::uint32_t>(std::stoul(fields[3]));
+    request.prompt.sessionId = std::stoull(fields[4]);
+    request.prompt.text = fields[5];
+    request.prompt.visualConcept = decodeVec(fields[6]);
+    request.prompt.lexicalStyle = decodeVec(fields[7]);
+    return request;
+}
+
+bool
+isEventLine(const std::string &line)
+{
+    return line.compare(0, 3, kEventPrefix) == 0;
+}
+
+} // namespace
+
+void
+saveTrace(const Trace &trace, std::ostream &out)
+{
+    out << kHeader << '\n';
+    writeRows(trace, out);
 }
 
 void
@@ -119,23 +154,9 @@ loadTrace(std::istream &in)
 
     Trace trace;
     while (std::getline(in, line)) {
-        if (line.empty())
+        if (line.empty() || isEventLine(line))
             continue;
-        const auto fields = splitRow(line);
-        if (fields.size() != 8)
-            fatal("malformed trace row with %zu fields", fields.size());
-        Request request;
-        request.arrival = std::stod(fields[0]);
-        request.prompt.id = std::stoull(fields[1]);
-        request.prompt.topicId =
-            static_cast<std::uint32_t>(std::stoul(fields[2]));
-        request.prompt.userId =
-            static_cast<std::uint32_t>(std::stoul(fields[3]));
-        request.prompt.sessionId = std::stoull(fields[4]);
-        request.prompt.text = fields[5];
-        request.prompt.visualConcept = decodeVec(fields[6]);
-        request.prompt.lexicalStyle = decodeVec(fields[7]);
-        trace.push_back(std::move(request));
+        trace.push_back(parseRow(line));
     }
     return trace;
 }
@@ -147,6 +168,61 @@ loadTraceFile(const std::string &path)
     if (!in)
         fatal("cannot open trace file: %s", path.c_str());
     return loadTrace(in);
+}
+
+void
+saveAnnotatedTrace(const AnnotatedTrace &annotated, std::ostream &out)
+{
+    out << kHeader << '\n';
+    for (const auto &event : annotated.events) {
+        MODM_ASSERT(event.find('\n') == std::string::npos,
+                    "trace event annotations must be single lines");
+        out << kEventPrefix << event << '\n';
+    }
+    writeRows(annotated.trace, out);
+}
+
+void
+saveAnnotatedTraceFile(const AnnotatedTrace &annotated,
+                       const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open trace file for writing: %s", path.c_str());
+    saveAnnotatedTrace(annotated, out);
+    if (!out)
+        fatal("error while writing trace file: %s", path.c_str());
+}
+
+AnnotatedTrace
+loadAnnotatedTrace(std::istream &in)
+{
+    std::string line;
+    if (!std::getline(in, line) || line != kHeader)
+        fatal("not a MoDM trace CSV (bad header)");
+
+    AnnotatedTrace annotated;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        if (isEventLine(line)) {
+            if (!annotated.trace.empty())
+                fatal("trace event annotation after the first row");
+            annotated.events.push_back(line.substr(3));
+            continue;
+        }
+        annotated.trace.push_back(parseRow(line));
+    }
+    return annotated;
+}
+
+AnnotatedTrace
+loadAnnotatedTraceFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open trace file: %s", path.c_str());
+    return loadAnnotatedTrace(in);
 }
 
 } // namespace modm::workload

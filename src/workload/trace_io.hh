@@ -8,6 +8,13 @@
  * Format: a header line, then one row per request with arrival time,
  * ids, surface text (quoted), and the latent ground-truth vectors
  * (semicolon-separated floats) that the synthetic substrate needs.
+ *
+ * Annotated traces additionally carry the scenario event timeline
+ * (fault ops, mid-trace knob changes, rate shaping) as "#@ <op>" lines
+ * between the header and the rows — each op in the scenario DSL's
+ * canonical spelling, so a frozen trace records not just the requests
+ * but the scripted experiment around them. loadTrace() skips the
+ * annotation lines, so an annotated trace replays as a plain one.
  */
 
 #ifndef MODM_WORKLOAD_TRACE_IO_HH
@@ -15,10 +22,19 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "src/workload/trace.hh"
 
 namespace modm::workload {
+
+/** A trace plus the scripted event timeline it was built under. */
+struct AnnotatedTrace
+{
+    Trace trace;
+    /** Canonical scenario op lines ("at <t> kill 1", ...), in order. */
+    std::vector<std::string> events;
+};
 
 /** Write a trace as CSV. */
 void saveTrace(const Trace &trace, std::ostream &out);
@@ -34,6 +50,28 @@ Trace loadTrace(std::istream &in);
 
 /** Read a trace from a file; fatal() on I/O failure. */
 Trace loadTraceFile(const std::string &path);
+
+/**
+ * Write a trace with its event timeline: "#@ <op>" annotation lines
+ * (one per event, in order) after the CSV header. Event strings must
+ * be single lines; typically scenarioOpLines() output.
+ */
+void saveAnnotatedTrace(const AnnotatedTrace &annotated,
+                        std::ostream &out);
+
+/** Write an annotated trace to a file; fatal() on I/O failure. */
+void saveAnnotatedTraceFile(const AnnotatedTrace &annotated,
+                            const std::string &path);
+
+/**
+ * Parse a trace with its "#@" event annotations (an unannotated trace
+ * loads with an empty event list). Same error discipline as
+ * loadTrace().
+ */
+AnnotatedTrace loadAnnotatedTrace(std::istream &in);
+
+/** Read an annotated trace from a file; fatal() on I/O failure. */
+AnnotatedTrace loadAnnotatedTraceFile(const std::string &path);
 
 } // namespace modm::workload
 

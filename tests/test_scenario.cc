@@ -1,0 +1,480 @@
+/**
+ * @file
+ * Scenario DSL tests: canonical fixpoint, digest stability, file:line
+ * diagnostics on malformed input, workload equivalence against the
+ * legacy bench helpers, scenario-vs-inline figure equivalence, knob
+ * plumbing, and 1-vs-4-thread sweep determinism of scenario cells.
+ *
+ * MODM_SCENARIO_DIR (a compile definition) points at the checked-in
+ * scenarios/ directory so the suite pins every shipped .scn file.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/harness.hh"
+#include "bench/sweep.hh"
+#include "src/cache/image_cache.hh"
+#include "src/serving/k_decision.hh"
+#include "src/serving/scenario_exec.hh"
+#include "src/workload/scenario.hh"
+
+namespace modm::workload {
+namespace {
+
+/** Parse from a string; returns the error ("" on success). */
+std::string
+parseText(const std::string &text, Scenario &out)
+{
+    std::istringstream in(text);
+    return parseScenario(in, "test.scn", out);
+}
+
+Scenario
+parseOk(const std::string &text)
+{
+    Scenario scenario;
+    const auto err = parseText(text, scenario);
+    EXPECT_EQ(err, "");
+    return scenario;
+}
+
+const char kSteadyText[] = "scenario steady\n"
+                           "warm 50\n"
+                           "requests 80\n"
+                           "rate 10\n"
+                           "cache 500\n"
+                           "\n"
+                           "cell \"modm\"\n"
+                           "cell \"vanilla\" system=vanilla\n";
+
+TEST(ScenarioParse, FixpointOnCanonicalText)
+{
+    const auto scenario = parseOk(kSteadyText);
+    const auto canonical = canonicalScenario(scenario);
+    const auto reparsed = parseOk(canonical);
+    EXPECT_EQ(canonicalScenario(reparsed), canonical);
+    EXPECT_EQ(scenarioDigest(reparsed), scenarioDigest(scenario));
+}
+
+TEST(ScenarioParse, DigestIgnoresFormattingAndComments)
+{
+    const auto a = parseOk(kSteadyText);
+    const auto b = parseOk("scenario steady\n"
+                           "# a comment\n"
+                           "rate   10\n"
+                           "cache 500   # trailing comment\n"
+                           "requests 80\n"
+                           "warm 50\n"
+                           "\n"
+                           "cell \"modm\"\n"
+                           "cell \"vanilla\" system=vanilla\n");
+    EXPECT_EQ(scenarioDigest(a), scenarioDigest(b));
+}
+
+TEST(ScenarioParse, DigestChangesWithMeaning)
+{
+    const auto a = parseOk(kSteadyText);
+    auto changed = std::string(kSteadyText);
+    changed.replace(changed.find("rate 10"), 7, "rate 11");
+    const auto b = parseOk(changed);
+    EXPECT_NE(scenarioDigest(a), scenarioDigest(b));
+}
+
+TEST(ScenarioParse, OpsRoundTripCanonically)
+{
+    const auto scenario = parseOk(
+        "scenario shaped\n"
+        "warm 10\n"
+        "duration 3600\n"
+        "rate 12\n"
+        "nodes 3\n"
+        "workers 6\n"
+        "\n"
+        "at 0 diurnal base 12 amp 6 period 900 for 1800 steps 12\n"
+        "at 1800 ramp to 30 over 600 steps 6\n"
+        "at 1900 flash x2.5 for 120\n"
+        "at 2400 drift to seed 777 over 600\n"
+        "at 2400 region 1 weight 0.25\n"
+        "at 2500 kill 1\n"
+        "at 2600 set mode quality\n"
+        "at 2700 set cache 2000\n"
+        "at 3000 rejoin 1\n");
+    ASSERT_EQ(scenario.ops.size(), 9u);
+    EXPECT_TRUE(scenario.mixesSources());
+    EXPECT_TRUE(scenario.hasFaults());
+    EXPECT_TRUE(scenario.hasKnobs());
+    const auto canonical = canonicalScenario(scenario);
+    EXPECT_EQ(canonicalScenario(parseOk(canonical)), canonical);
+
+    const auto lines = scenarioOpLines(scenario);
+    ASSERT_EQ(lines.size(), 9u);
+    EXPECT_EQ(lines[5], "at 2500 kill 1");
+    EXPECT_EQ(lines[6], "at 2600 set mode quality");
+    EXPECT_EQ(lines[7], "at 2700 set cache 2000");
+}
+
+TEST(ScenarioParse, DiagnosticsCarryFileAndLine)
+{
+    Scenario out;
+
+    // Unknown op verb, with the failing line number.
+    EXPECT_EQ(parseText("scenario s\nrequests 10\nrate 5\n"
+                        "at 10 explode 1\n",
+                        out),
+              "test.scn:4: unknown op 'explode'");
+
+    // Out-of-order timestamps.
+    const auto err = parseText("scenario s\nrequests 10\nrate 5\n"
+                               "at 20 rate 6\nat 10 rate 7\n",
+                               out);
+    EXPECT_NE(err.find("test.scn:5:"), std::string::npos) << err;
+    EXPECT_NE(err.find("time-ordered"), std::string::npos) << err;
+
+    // Bad knob.
+    const auto knobErr = parseText("scenario s\nrequests 10\nrate 5\n"
+                                   "at 10 set turbo 9\n",
+                                   out);
+    EXPECT_NE(knobErr.find("test.scn:4:"), std::string::npos) << knobErr;
+    EXPECT_NE(knobErr.find("unknown knob 'turbo'"), std::string::npos)
+        << knobErr;
+}
+
+TEST(ScenarioParse, RejectsMalformedHeaders)
+{
+    Scenario out;
+    EXPECT_NE(parseText("requests 10\n", out).find("first directive"),
+              std::string::npos);
+    EXPECT_NE(parseText("scenario s\nrequests 10\nrequests 20\n", out)
+                  .find("duplicate directive"),
+              std::string::npos);
+    EXPECT_NE(parseText("scenario s\nrequests 10\nduration 5\n", out)
+                  .find("exactly one of requests/duration"),
+              std::string::npos);
+    EXPECT_NE(parseText("scenario s\nrequests 10\ngpu h100\n", out)
+                  .find("unknown gpu"),
+              std::string::npos);
+    EXPECT_NE(parseText("scenario s\nrequests 10\ntitle \"open\n", out)
+                  .find("unterminated quote"),
+              std::string::npos);
+    EXPECT_NE(parseText("scenario s\n", out).find("requests or duration"),
+              std::string::npos);
+}
+
+TEST(ScenarioParse, RejectsInvalidOps)
+{
+    Scenario out;
+    // Rate shaping in a batch scenario.
+    EXPECT_NE(parseText("scenario s\nrequests 10\nat 0 rate 5\n", out)
+                  .find("batch"),
+              std::string::npos);
+    // Diurnal amplitude must stay below the base.
+    EXPECT_NE(parseText("scenario s\nduration 100\nrate 5\n"
+                        "at 0 diurnal base 5 amp 6 period 50 for 100 "
+                        "steps 4\n",
+                        out)
+                  .find("amp must stay below base"),
+              std::string::npos);
+    // Region weight out of range.
+    EXPECT_NE(parseText("scenario s\nrequests 10\nrate 5\n"
+                        "at 0 region 1 weight 1.5\n",
+                        out)
+                  .find("weight"),
+              std::string::npos);
+    // Killing the only admitting node.
+    EXPECT_NE(parseText("scenario s\nrequests 10\nrate 5\n"
+                        "at 10 kill 0\n",
+                        out)
+                  .find("admitting"),
+              std::string::npos);
+    // Replicas knob without replicated partitioning.
+    EXPECT_NE(parseText("scenario s\nrequests 10\nrate 5\nnodes 2\n"
+                        "workers 4\nat 10 set replicas 2\n",
+                        out)
+                  .find("replicated"),
+              std::string::npos);
+    // MoDM cell without a small model.
+    EXPECT_NE(parseText("scenario s\nrequests 10\nsmall none\n", out)
+                  .find("non-empty small"),
+              std::string::npos);
+}
+
+TEST(ScenarioParseDeath, LoadOrDieReportsFileAndLine)
+{
+    std::istringstream in("scenario s\nrequests 10\nat 1 explode 2\n");
+    EXPECT_DEATH(parseScenarioOrDie(in, "bad.scn"),
+                 "bad.scn:3: unknown op");
+}
+
+/** Every checked-in scenario file, relative to MODM_SCENARIO_DIR. */
+const char *const kCheckedInScenarios[] = {
+    "fig06_hit_rate.scn",   "fig18_energy.scn", "steady_state.scn",
+    "flash_crowd.scn",      "diurnal.scn",      "topic_drift.scn",
+    "regional_skew.scn",    "failover_killmid.scn",
+};
+
+std::string
+scenarioPath(const std::string &name)
+{
+    return std::string(MODM_SCENARIO_DIR) + "/" + name;
+}
+
+TEST(ScenarioFiles, EveryCheckedInScenarioIsAFixpoint)
+{
+    for (const char *name : kCheckedInScenarios) {
+        SCOPED_TRACE(name);
+        const auto scenario = loadScenarioFile(scenarioPath(name));
+        const auto canonical = canonicalScenario(scenario);
+        const auto reparsed = parseOk(canonical);
+        EXPECT_EQ(canonicalScenario(reparsed), canonical);
+        EXPECT_EQ(scenarioDigest(reparsed), scenarioDigest(scenario));
+    }
+}
+
+TEST(ScenarioFiles, PortedFigureDigestsArePinned)
+{
+    // Frozen digests of the two figure ports. A change here means the
+    // scenario's meaning changed — the matching golden (and the legacy
+    // byte-identity claim) must be revisited, not just re-pinned.
+    EXPECT_EQ(scenarioDigest(
+                  loadScenarioFile(scenarioPath("fig06_hit_rate.scn"))),
+              0xea14f86034447e74ULL);
+    EXPECT_EQ(scenarioDigest(
+                  loadScenarioFile(scenarioPath("fig18_energy.scn"))),
+              0xf09cbd0285e74bccULL);
+}
+
+TEST(ScenarioWorkloadEquivalence, BatchMatchesLegacyBatchBundle)
+{
+    const auto scenario = parseOk("scenario batch\n"
+                                  "warm 120\n"
+                                  "requests 150\n");
+    const auto built = buildScenarioWorkload(scenario);
+    const auto legacy =
+        bench::batchBundle(bench::Dataset::DiffusionDB, 120, 150);
+
+    ASSERT_EQ(built.warm.size(), legacy.warm.size());
+    ASSERT_EQ(built.trace.size(), legacy.trace.size());
+    for (std::size_t i = 0; i < built.trace.size(); ++i) {
+        EXPECT_EQ(built.trace[i].arrival, legacy.trace[i].arrival);
+        EXPECT_EQ(built.trace[i].prompt.id, legacy.trace[i].prompt.id);
+        EXPECT_EQ(built.trace[i].prompt.text,
+                  legacy.trace[i].prompt.text);
+        EXPECT_EQ(built.trace[i].prompt.visualConcept,
+                  legacy.trace[i].prompt.visualConcept);
+    }
+}
+
+TEST(ScenarioWorkloadEquivalence, PoissonMatchesLegacyPoissonBundle)
+{
+    const auto scenario = parseOk("scenario poisson\n"
+                                  "warm 40\n"
+                                  "requests 120\n"
+                                  "rate 10\n");
+    const auto built = buildScenarioWorkload(scenario);
+    const auto legacy =
+        bench::poissonBundle(bench::Dataset::DiffusionDB, 40, 120, 10.0);
+
+    ASSERT_EQ(built.trace.size(), legacy.trace.size());
+    for (std::size_t i = 0; i < built.trace.size(); ++i) {
+        EXPECT_EQ(built.trace[i].arrival, legacy.trace[i].arrival);
+        EXPECT_EQ(built.trace[i].prompt.id, legacy.trace[i].prompt.id);
+        EXPECT_EQ(built.trace[i].prompt.text,
+                  legacy.trace[i].prompt.text);
+    }
+}
+
+TEST(ScenarioWorkloadEquivalence, MjhqDatasetSelectsTheMjhqGenerator)
+{
+    const auto scenario = parseOk("scenario mjhq\n"
+                                  "dataset mjhq\n"
+                                  "requests 50\n");
+    const auto built = buildScenarioWorkload(scenario);
+    const auto legacy =
+        bench::batchBundle(bench::Dataset::MJHQ, 0, 50);
+    ASSERT_EQ(built.trace.size(), legacy.trace.size());
+    for (std::size_t i = 0; i < built.trace.size(); ++i)
+        EXPECT_EQ(built.trace[i].prompt.text,
+                  legacy.trace[i].prompt.text);
+}
+
+TEST(ScenarioEquivalence, ServingCellMatchesLegacyPresetRun)
+{
+    // A scenario cell that names the MoDM preset reproduces the
+    // hard-coded bench path bit for bit (digest equality).
+    const auto scenario = parseOk("scenario modm_small\n"
+                                  "warm 150\n"
+                                  "requests 150\n"
+                                  "cache 1500\n");
+    const auto cellResult =
+        serving::runScenarioCell(scenario, scenario.cell(0));
+
+    baselines::PresetParams params;
+    params.cacheCapacity = 1500;
+    const auto config =
+        baselines::modm(diffusion::sd35Large(), diffusion::sdxl(),
+                        params);
+    const auto legacy = bench::runSystem(
+        config, bench::batchBundle(bench::Dataset::DiffusionDB, 150,
+                                   150));
+
+    EXPECT_EQ(serving::resultDigest(cellResult),
+              serving::resultDigest(legacy));
+}
+
+TEST(ScenarioEquivalence, CacheStreamMatchesInlineFig06Loop)
+{
+    // Scaled-down Fig. 6: the scenario executor's streamed-cache loop
+    // against a verbatim transcription of the legacy binary's.
+    const auto scenario = parseOk("scenario fig06_small\n"
+                                  "mode cache-stream\n"
+                                  "requests 4000\n"
+                                  "window 500\n"
+                                  "cache 800\n"
+                                  "report hit-curve\n");
+    const auto curve =
+        serving::runScenarioCacheStream(scenario, scenario.cell(0));
+
+    auto gen = makeDiffusionDB(42);
+    diffusion::Sampler sampler(7);
+    cache::ImageCache cache(800, cache::EvictionPolicy::FIFO);
+    embedding::TextEncoder text;
+    serving::KDecision kd;
+    std::vector<double> expected;
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < 4000; ++i) {
+        const auto p = gen->next();
+        const auto te =
+            text.encode(p.visualConcept, p.lexicalStyle, p.text);
+        const auto r = cache.retrieve(te);
+        diffusion::Image img;
+        if (r.found && kd.isHit(r.similarity)) {
+            ++hits;
+            cache.recordHit(r.entryId, static_cast<double>(i));
+            img = sampler.refine(diffusion::sdxl(), p,
+                                 cache.entry(r.entryId).image,
+                                 kd.decide(r.similarity),
+                                 static_cast<double>(i));
+        } else {
+            img = sampler.generate(diffusion::sd35Large(), p,
+                                   static_cast<double>(i));
+        }
+        cache.insert(img, static_cast<double>(i));
+        if ((i + 1) % 500 == 0) {
+            expected.push_back(static_cast<double>(hits) / 500);
+            hits = 0;
+        }
+    }
+    EXPECT_EQ(curve, expected);
+}
+
+TEST(ScenarioEquivalence, FaultOpsMatchHandBuiltFaultPlan)
+{
+    const auto scenario = parseOk("scenario fo\n"
+                                  "warm 60\n"
+                                  "requests 240\n"
+                                  "rate 12\n"
+                                  "workers 6\n"
+                                  "nodes 3\n"
+                                  "\n"
+                                  "at 120 kill 1\n"
+                                  "at 600 rejoin 1\n");
+    const auto cellResult =
+        serving::runScenarioCell(scenario, scenario.cell(0));
+
+    baselines::PresetParams params;
+    params.numWorkers = 6;
+    auto config =
+        baselines::modm(diffusion::sd35Large(), diffusion::sdxl(),
+                        params);
+    config.cluster.numNodes = 3;
+    config.faults.add(120.0, 1, serving::FaultKind::Kill)
+        .add(600.0, 1, serving::FaultKind::Rejoin);
+    const auto legacy = bench::runSystem(
+        config, bench::poissonBundle(bench::Dataset::DiffusionDB, 60,
+                                     240, 12.0));
+
+    EXPECT_EQ(serving::resultDigest(cellResult),
+              serving::resultDigest(legacy));
+    EXPECT_TRUE(cellResult.failover.active);
+}
+
+TEST(ScenarioKnobs, CacheShrinkEvictsDownInPolicy)
+{
+    const auto scenario = parseOk("scenario shrink\n"
+                                  "warm 400\n"
+                                  "requests 100\n"
+                                  "rate 10\n"
+                                  "cache 1000\n"
+                                  "\n"
+                                  "at 1 set cache 200\n");
+    const auto result =
+        serving::runScenarioCell(scenario, scenario.cell(0));
+    EXPECT_LE(result.cacheSize, 200u);
+    EXPECT_GT(result.cacheSize, 0u);
+}
+
+TEST(ScenarioKnobs, ModeFlipChangesTheRunAndEmptyPlanIsANoOp)
+{
+    const char kBase[] = "scenario knobs\n"
+                         "warm 100\n"
+                         "requests 200\n"
+                         "rate 12\n"
+                         "cache 800\n";
+    const auto plain = parseOk(kBase);
+    const auto flipped =
+        parseOk(std::string(kBase) + "\nat 60 set mode quality\n");
+
+    const auto plainResult =
+        serving::runScenarioCell(plain, plain.cell(0));
+    const auto flippedResult =
+        serving::runScenarioCell(flipped, flipped.cell(0));
+    EXPECT_NE(serving::resultDigest(plainResult),
+              serving::resultDigest(flippedResult));
+
+    // An explicitly empty knob plan is byte-identical to no plan.
+    auto config = serving::scenarioCellConfig(plain, plain.cell(0));
+    ASSERT_TRUE(config.knobs.empty());
+    const auto workload = buildScenarioWorkload(plain);
+    serving::ServingSystem system(config);
+    system.warmCache(workload.warm);
+    const auto rerun = system.run(workload.trace);
+    EXPECT_EQ(serving::resultDigest(rerun),
+              serving::resultDigest(plainResult));
+}
+
+TEST(ScenarioKnobsDeath, ReplicasKnobValidatesAgainstTopology)
+{
+    serving::ServingConfig config;
+    config.knobs.setReplicationFactor(10.0, 2);
+    EXPECT_DEATH(serving::ServingSystem{config}, "[Rr]eplica");
+}
+
+TEST(ScenarioSweep, CellsAreDeterministicAcrossParallelism)
+{
+    const auto scenario = parseOk(kSteadyText);
+    const auto runAll = [&](std::size_t parallelism) {
+        std::vector<std::function<std::string()>> cells;
+        for (std::size_t i = 0; i < scenario.cellCount(); ++i) {
+            const auto cell = scenario.cell(i);
+            cells.push_back([&scenario, cell] {
+                return serving::resultDigest(
+                    serving::runScenarioCell(scenario, cell));
+            });
+        }
+        bench::SweepOptions options;
+        options.parallelism = parallelism;
+        options.progress = false;
+        return bench::runCells<std::string>(cells, options);
+    };
+    const auto serial = runAll(1);
+    const auto concurrent = runAll(4);
+    EXPECT_EQ(serial, concurrent);
+}
+
+} // namespace
+} // namespace modm::workload

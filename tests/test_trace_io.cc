@@ -1,13 +1,16 @@
 /**
  * @file
  * Unit tests for trace serialization: round-trip exactness (including
- * quoted text with commas/quotes) and rejection of malformed input.
+ * quoted text with commas/quotes), annotated traces carrying scenario
+ * event timelines (faults, mid-trace knob changes), and rejection of
+ * malformed input.
  */
 
 #include <gtest/gtest.h>
 
 #include <sstream>
 
+#include "src/workload/scenario.hh"
 #include "src/workload/trace_io.hh"
 
 namespace modm::workload {
@@ -56,6 +59,89 @@ TEST(TraceIo, QuotedTextWithCommasAndQuotes)
     const auto loaded = loadTrace(buffer);
     ASSERT_EQ(loaded.size(), 1u);
     EXPECT_EQ(loaded[0].prompt.text, "a \"red\" dragon, highly detailed");
+}
+
+TEST(TraceIo, AnnotatedRoundTripCarriesFaultAndKnobEvents)
+{
+    // A scenario with scripted faults and a mid-trace knob change,
+    // frozen as an annotated trace: the rows round-trip exactly and
+    // the event timeline survives in canonical op spelling.
+    std::istringstream scn("scenario frozen\n"
+                           "warm 0\n"
+                           "requests 40\n"
+                           "rate 12\n"
+                           "workers 6\n"
+                           "nodes 3\n"
+                           "\n"
+                           "at 60 kill 1\n"
+                           "at 90 set cache 5000\n"
+                           "at 240 rejoin 1\n");
+    const auto scenario = parseScenarioOrDie(scn, "frozen.scn");
+
+    AnnotatedTrace annotated;
+    annotated.trace = buildScenarioWorkload(scenario).trace;
+    annotated.events = scenarioOpLines(scenario);
+    ASSERT_EQ(annotated.events.size(), 3u);
+
+    std::stringstream buffer;
+    saveAnnotatedTrace(annotated, buffer);
+    const auto loaded = loadAnnotatedTrace(buffer);
+
+    EXPECT_EQ(loaded.events,
+              (std::vector<std::string>{"at 60 kill 1",
+                                        "at 90 set cache 5000",
+                                        "at 240 rejoin 1"}));
+    ASSERT_EQ(loaded.trace.size(), annotated.trace.size());
+    for (std::size_t i = 0; i < annotated.trace.size(); ++i) {
+        EXPECT_NEAR(loaded.trace[i].arrival,
+                    annotated.trace[i].arrival, 1e-6);
+        EXPECT_EQ(loaded.trace[i].prompt.id,
+                  annotated.trace[i].prompt.id);
+        EXPECT_EQ(loaded.trace[i].prompt.text,
+                  annotated.trace[i].prompt.text);
+    }
+}
+
+TEST(TraceIo, AnnotatedTraceLoadsAsPlainTrace)
+{
+    AnnotatedTrace annotated;
+    annotated.events = {"at 10 drain 2", "at 20 set mode quality"};
+    Request request;
+    request.arrival = 2.5;
+    request.prompt.id = 11;
+    request.prompt.text = "plain replay";
+    request.prompt.visualConcept = {0.25f};
+    request.prompt.lexicalStyle = {0.75f};
+    annotated.trace.push_back(request);
+
+    std::stringstream buffer;
+    saveAnnotatedTrace(annotated, buffer);
+    const auto plain = loadTrace(buffer);
+    ASSERT_EQ(plain.size(), 1u);
+    EXPECT_EQ(plain[0].prompt.text, "plain replay");
+}
+
+TEST(TraceIo, UnannotatedTraceLoadsWithEmptyEventList)
+{
+    Trace trace(1);
+    trace[0].prompt.text = "no events";
+    std::stringstream buffer;
+    saveTrace(trace, buffer);
+    const auto loaded = loadAnnotatedTrace(buffer);
+    EXPECT_TRUE(loaded.events.empty());
+    ASSERT_EQ(loaded.trace.size(), 1u);
+    EXPECT_EQ(loaded.trace[0].prompt.text, "no events");
+}
+
+TEST(TraceIoDeath, RejectsEventAnnotationAfterRows)
+{
+    std::stringstream buffer;
+    buffer << "arrival,prompt_id,topic_id,user_id,session_id,text,"
+              "visual,lexical\n"
+              "1.0,2,3,4,5,\"x\",0.5,0.5\n"
+              "#@ at 10 kill 1\n";
+    EXPECT_DEATH(loadAnnotatedTrace(buffer),
+                 "annotation after the first row");
 }
 
 TEST(TraceIoDeath, RejectsForeignCsv)
