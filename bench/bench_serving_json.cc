@@ -12,9 +12,12 @@
  * and versioned by the `schema` field; bump it when cells change so
  * downstream tooling never compares incompatible snapshots. Schema 2
  * added the failover cell and the per-cell `rerouted_requests` /
- * `recovery_time_s` resilience fields. Serving metrics are
- * virtual-time and bit-deterministic; the us/query retrieval column
- * is wall time and is the only machine-dependent number in the file.
+ * `recovery_time_s` resilience fields. Schema 3 added the memory
+ * axis: per-cell `retrieval_backend` / `retrieval_bytes_per_entry`,
+ * plus HNSW and IVF-PQ rows (with `bytes_per_entry`) in the
+ * retrieval microbench. Serving metrics are virtual-time and
+ * bit-deterministic; the us/query retrieval column is wall time and
+ * is the only machine-dependent number in the file.
  *
  * Usage: bench_serving_json [output-path]   (default BENCH_serving.json)
  */
@@ -31,16 +34,23 @@ using namespace modm;
 
 namespace {
 
-constexpr int kSchema = 2;
+constexpr int kSchema = 3;
 constexpr std::size_t kWarm = 800;
 constexpr std::size_t kRequests = 2000;
 constexpr double kRatePerMin = 12.0;
 constexpr std::size_t kRetrievalRows = 4000;
 constexpr std::size_t kRetrievalQueries = 400;
 
-/** Wall-clock mean retrieval latency of a backend at the pinned size. */
-double
-measureUsPerQuery(const embedding::RetrievalBackendConfig &retrieval)
+/** One retrieval-microbench point. */
+struct RetrievalPoint
+{
+    double usPerQuery = 0.0;
+    double bytesPerEntry = 0.0;
+};
+
+/** Wall-clock latency + memory footprint at the pinned size. */
+RetrievalPoint
+measureBackend(const embedding::RetrievalBackendConfig &retrieval)
 {
     auto gen = workload::makeDiffusionDB(7);
     diffusion::Sampler sampler(11);
@@ -72,7 +82,9 @@ measureUsPerQuery(const embedding::RetrievalBackendConfig &retrieval)
             .count();
     if (sink == -1e30)
         std::fprintf(stderr, "impossible\n");
-    return seconds * 1e6 / static_cast<double>(queries.size());
+    return {seconds * 1e6 / static_cast<double>(queries.size()),
+            static_cast<double>(index->memoryBytes()) /
+                static_cast<double>(kRetrievalRows)};
 }
 
 std::string
@@ -154,8 +166,23 @@ main(int argc, char **argv)
     embedding::RetrievalBackendConfig flat;
     embedding::RetrievalBackendConfig ivf;
     ivf.kind = embedding::RetrievalBackend::Ivf;
-    const double flatUs = measureUsPerQuery(flat);
-    const double ivfUs = measureUsPerQuery(ivf);
+    embedding::RetrievalBackendConfig hnsw;
+    hnsw.kind = embedding::RetrievalBackend::Hnsw;
+    embedding::RetrievalBackendConfig pq;
+    pq.kind = embedding::RetrievalBackend::IvfPq;
+    struct NamedPoint
+    {
+        const char *name;
+        RetrievalPoint point;
+    };
+    const NamedPoint retrievalPoints[] = {
+        {"Flat", measureBackend(flat)},
+        {"IVF", measureBackend(ivf)},
+        {"HNSW", measureBackend(hnsw)},
+        {"IVF-PQ", measureBackend(pq)},
+    };
+    constexpr std::size_t kNumRetrievalPoints =
+        sizeof(retrievalPoints) / sizeof(retrievalPoints[0]);
 
     FILE *out = std::fopen(path.c_str(), "w");
     if (!out) {
@@ -178,7 +205,9 @@ main(int argc, char **argv)
             "\"hit_rate\": %s, \"p50_latency_s\": %s, "
             "\"p99_latency_s\": %s, \"recall_at1\": %s, "
             "\"load_imbalance\": %s, \"num_nodes\": %zu, "
-            "\"rerouted_requests\": %llu, \"recovery_time_s\": %s}%s\n",
+            "\"rerouted_requests\": %llu, \"recovery_time_s\": %s, "
+            "\"retrieval_backend\": \"%s\", "
+            "\"retrieval_bytes_per_entry\": %s}%s\n",
             spec.cells[i].label.c_str(), num(cellRates[i]).c_str(),
             num(r.throughputPerMin).c_str(), num(r.hitRate).c_str(),
             num(r.metrics.latencyPercentile(50.0)).c_str(),
@@ -188,19 +217,32 @@ main(int argc, char **argv)
             static_cast<unsigned long long>(r.failover.rerouted),
             // -1 = no kill in this cell (or recovery never proven).
             num(r.failover.hitRateRecoveryS).c_str(),
+            embedding::retrievalBackendName(r.retrievalBackend),
+            // End-of-run footprint over end-of-run entries; 0 when
+            // the final cache is empty.
+            num(r.cacheSize > 0
+                    ? static_cast<double>(r.retrievalMemoryBytes) /
+                          static_cast<double>(r.cacheSize)
+                    : 0.0)
+                .c_str(),
             i + 1 < spec.cells.size() ? "," : "");
     }
     std::fprintf(out, "  ],\n");
-    std::fprintf(out,
-                 "  \"retrieval\": [\n"
-                 "    {\"backend\": \"Flat\", \"rows\": %zu, "
-                 "\"us_per_query\": %s},\n"
-                 "    {\"backend\": \"IVF\", \"rows\": %zu, "
-                 "\"us_per_query\": %s}\n  ]\n}\n",
-                 kRetrievalRows, num(flatUs).c_str(), kRetrievalRows,
-                 num(ivfUs).c_str());
+    std::fprintf(out, "  \"retrieval\": [\n");
+    for (std::size_t i = 0; i < kNumRetrievalPoints; ++i) {
+        const auto &p = retrievalPoints[i];
+        std::fprintf(out,
+                     "    {\"backend\": \"%s\", \"rows\": %zu, "
+                     "\"us_per_query\": %s, "
+                     "\"bytes_per_entry\": %s}%s\n",
+                     p.name, kRetrievalRows,
+                     num(p.point.usPerQuery).c_str(),
+                     num(p.point.bytesPerEntry).c_str(),
+                     i + 1 < kNumRetrievalPoints ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
     std::fclose(out);
-    std::printf("wrote %s (%zu serving cells, 2 retrieval points)\n",
-                path.c_str(), spec.cells.size());
+    std::printf("wrote %s (%zu serving cells, %zu retrieval points)\n",
+                path.c_str(), spec.cells.size(), kNumRetrievalPoints);
     return 0;
 }

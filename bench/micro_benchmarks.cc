@@ -17,8 +17,10 @@
 #include "src/common/thread_pool.hh"
 #include "src/diffusion/sampler.hh"
 #include "src/embedding/encoder.hh"
+#include "src/embedding/hnsw_index.hh"
 #include "src/embedding/index.hh"
 #include "src/embedding/ivf_index.hh"
+#include "src/embedding/ivf_pq_index.hh"
 #include "src/eval/metrics.hh"
 #include "src/serving/k_decision.hh"
 #include "src/sim/event_queue.hh"
@@ -193,6 +195,100 @@ BM_IndexBestIvf(benchmark::State &state)
 }
 BENCHMARK(BM_IndexBestIvf)->Unit(benchmark::kMillisecond);
 
+/**
+ * The approximate backends at the same 100k x 512 clustered scale.
+ * HNSW trades build time (graph construction) for logarithmic-ish
+ * query cost; IVF-PQ trades a quantize+re-rank pipeline for a ~32x
+ * smaller resident index. Both share bigIvfIndex()'s row stream so
+ * the four backends are directly comparable.
+ */
+embedding::HnswIndex &
+bigHnswIndex()
+{
+    static embedding::HnswIndex index = [] {
+        const auto centers = clusterCenters(kBigDim, 128, 3);
+        Rng rng(7);
+        embedding::RetrievalBackendConfig config;
+        config.kind = embedding::RetrievalBackend::Hnsw;
+        embedding::HnswIndex idx(config, kBigDim);
+        idx.reserve(kBigEntries);
+        for (std::size_t i = 0; i < kBigEntries; ++i)
+            idx.insert(i, clusteredRow(centers, rng));
+        return idx;
+    }();
+    return index;
+}
+
+embedding::IvfPqIndex &
+bigPqIndex()
+{
+    static embedding::IvfPqIndex index = [] {
+        const auto centers = clusterCenters(kBigDim, 128, 3);
+        Rng rng(7);
+        embedding::RetrievalBackendConfig config;
+        config.kind = embedding::RetrievalBackend::IvfPq;
+        config.pqM = 16; // 32-dim subspaces at the production width
+        embedding::IvfPqIndex idx(config, kBigDim);
+        idx.reserve(kBigEntries);
+        for (std::size_t i = 0; i < kBigEntries; ++i)
+            idx.insert(i, clusteredRow(centers, rng));
+        return idx;
+    }();
+    return index;
+}
+
+void
+BM_IndexTopKHnsw(benchmark::State &state)
+{
+    auto &index = bigHnswIndex();
+    Rng rng(11);
+    const auto centers = clusterCenters(kBigDim, 128, 3);
+    const auto query = clusteredRow(centers, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(index.topK(query, 10));
+    state.SetItemsProcessed(state.iterations() * kBigEntries);
+}
+BENCHMARK(BM_IndexTopKHnsw)->Unit(benchmark::kMillisecond);
+
+void
+BM_IndexBestHnsw(benchmark::State &state)
+{
+    auto &index = bigHnswIndex();
+    Rng rng(11);
+    const auto centers = clusterCenters(kBigDim, 128, 3);
+    const auto query = clusteredRow(centers, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(index.best(query));
+    state.SetItemsProcessed(state.iterations() * kBigEntries);
+}
+BENCHMARK(BM_IndexBestHnsw)->Unit(benchmark::kMillisecond);
+
+void
+BM_IndexTopKIvfPq(benchmark::State &state)
+{
+    auto &index = bigPqIndex();
+    Rng rng(11);
+    const auto centers = clusterCenters(kBigDim, 128, 3);
+    const auto query = clusteredRow(centers, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(index.topK(query, 10));
+    state.SetItemsProcessed(state.iterations() * kBigEntries);
+}
+BENCHMARK(BM_IndexTopKIvfPq)->Unit(benchmark::kMillisecond);
+
+void
+BM_IndexBestIvfPq(benchmark::State &state)
+{
+    auto &index = bigPqIndex();
+    Rng rng(11);
+    const auto centers = clusterCenters(kBigDim, 128, 3);
+    const auto query = clusteredRow(centers, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(index.best(query));
+    state.SetItemsProcessed(state.iterations() * kBigEntries);
+}
+BENCHMARK(BM_IndexBestIvfPq)->Unit(benchmark::kMillisecond);
+
 constexpr std::size_t kHugeEntries = 1000000;
 
 // Like bigIndex()/bigIvfIndex(): built once and shared across the
@@ -257,6 +353,74 @@ BM_IndexTopKIvf1M(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * kHugeEntries);
 }
 BENCHMARK(BM_IndexTopKIvf1M)->Unit(benchmark::kMillisecond);
+
+// The 1M approximate-backend builds run minutes on one core (HNSW
+// graph construction; PQ training + encode), so they use leaner build
+// knobs than the recall-pinned scale pass in
+// ablation_retrieval_backend — these cells track query latency only.
+embedding::HnswIndex &
+hugeHnswIndex()
+{
+    static embedding::HnswIndex index = [] {
+        const auto centers = clusterCenters(kBigDim, 128, 3);
+        Rng rng(7);
+        embedding::RetrievalBackendConfig config;
+        config.kind = embedding::RetrievalBackend::Hnsw;
+        config.hnswM = 12;
+        config.efConstruction = 48;
+        embedding::HnswIndex idx(config, kBigDim);
+        idx.reserve(kHugeEntries);
+        for (std::size_t i = 0; i < kHugeEntries; ++i)
+            idx.insert(i, clusteredRow(centers, rng));
+        return idx;
+    }();
+    return index;
+}
+
+embedding::IvfPqIndex &
+hugePqIndex()
+{
+    static embedding::IvfPqIndex index = [] {
+        const auto centers = clusterCenters(kBigDim, 128, 3);
+        Rng rng(7);
+        embedding::RetrievalBackendConfig config;
+        config.kind = embedding::RetrievalBackend::IvfPq;
+        config.nlist = 256; // ~sqrt-scale list count for 1M rows
+        config.pqM = 16;
+        embedding::IvfPqIndex idx(config, kBigDim);
+        idx.reserve(kHugeEntries);
+        for (std::size_t i = 0; i < kHugeEntries; ++i)
+            idx.insert(i, clusteredRow(centers, rng));
+        return idx;
+    }();
+    return index;
+}
+
+void
+BM_IndexTopKHnsw1M(benchmark::State &state)
+{
+    auto &index = hugeHnswIndex();
+    const auto centers = clusterCenters(kBigDim, 128, 3);
+    Rng qrng(11);
+    const auto query = clusteredRow(centers, qrng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(index.topK(query, 10));
+    state.SetItemsProcessed(state.iterations() * kHugeEntries);
+}
+BENCHMARK(BM_IndexTopKHnsw1M)->Unit(benchmark::kMillisecond);
+
+void
+BM_IndexTopKIvfPq1M(benchmark::State &state)
+{
+    auto &index = hugePqIndex();
+    const auto centers = clusterCenters(kBigDim, 128, 3);
+    Rng qrng(11);
+    const auto query = clusteredRow(centers, qrng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(index.topK(query, 10));
+    state.SetItemsProcessed(state.iterations() * kHugeEntries);
+}
+BENCHMARK(BM_IndexTopKIvfPq1M)->Unit(benchmark::kMillisecond);
 
 /**
  * The retrieval inner loop itself: modm::dot's 4-way unrolled

@@ -29,6 +29,9 @@ ImageCache::ImageCache(std::size_t capacity, EvictionPolicy policy,
       index_(embedding::makeVectorIndex(retrieval, encoder_config.dim))
 {
     MODM_ASSERT(capacity_ > 0, "cache capacity must be positive");
+    // The cache itself is the exact-row oracle: entries_ already holds
+    // every embedding, so quantized backends re-rank for free.
+    index_->setRowSource(this);
 }
 
 void

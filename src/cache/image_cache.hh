@@ -91,8 +91,12 @@ struct ImageCacheStats
 
 /**
  * Fixed-capacity image cache with embedding retrieval.
+ *
+ * The cache doubles as the retrieval backend's RowSource: it already
+ * stores every entry's embedding, so quantized backends (IVF-PQ)
+ * re-rank their shortlists against exact rows at no extra memory.
  */
-class ImageCache
+class ImageCache : public embedding::RowSource
 {
   public:
     /**
@@ -181,10 +185,34 @@ class ImageCache
 
     /**
      * Serving load in [0, 1], forwarded to the retrieval backend for
-     * load-adaptive search (IVF adaptiveNprobe); exact backends
-     * ignore it.
+     * load-adaptive search (IVF adaptiveNprobe, HNSW adaptiveEfSearch);
+     * exact backends ignore it.
      */
     void setRetrievalLoad(double load) { index_->setLoadSignal(load); }
+
+    /** Runtime efSearch override (scenario knob); 0 ignored. */
+    void setRetrievalEf(std::size_t ef) { index_->setEfSearch(ef); }
+
+    /** Runtime nprobe override (scenario knob); 0 ignored. */
+    void setRetrievalNprobe(std::size_t nprobe)
+    {
+        index_->setNprobe(nprobe);
+    }
+
+    /** Bytes the retrieval backend holds (memory-budget axis). */
+    std::size_t retrievalMemoryBytes() const
+    {
+        return index_->memoryBytes();
+    }
+
+    /** Exact-row oracle over cached entries (RowSource). */
+    const float *row(std::uint64_t id) const override
+    {
+        const auto it = entries_.find(id);
+        return it == entries_.end()
+            ? nullptr
+            : it->second.imageEmbedding.vec().data();
+    }
 
     /** The retrieval backend (exposed for tests and benchmarks). */
     const embedding::VectorIndex &index() const { return *index_; }

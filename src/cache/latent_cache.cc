@@ -22,6 +22,7 @@ LatentCache::LatentCache(std::size_t capacity, std::string model_name,
     MODM_ASSERT(std::is_sorted(thresholds_.similarityFloors.begin(),
                                thresholds_.similarityFloors.end()),
                 "similarity floors must be ascending");
+    index_->setRowSource(this);
 }
 
 void

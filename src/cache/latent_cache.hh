@@ -83,8 +83,11 @@ struct LatentHit
 
 /**
  * Fixed-capacity latent cache with utility eviction (Nirvana's policy).
+ *
+ * Doubles as the retrieval backend's RowSource over the stored text
+ * embeddings (see ImageCache for the rationale).
  */
-class LatentCache
+class LatentCache : public embedding::RowSource
 {
   public:
     /**
@@ -168,10 +171,34 @@ class LatentCache
 
     /**
      * Serving load in [0, 1], forwarded to the retrieval backend for
-     * load-adaptive search (IVF adaptiveNprobe); exact backends
-     * ignore it.
+     * load-adaptive search (IVF adaptiveNprobe, HNSW adaptiveEfSearch);
+     * exact backends ignore it.
      */
     void setRetrievalLoad(double load) { index_->setLoadSignal(load); }
+
+    /** Runtime efSearch override (scenario knob); 0 ignored. */
+    void setRetrievalEf(std::size_t ef) { index_->setEfSearch(ef); }
+
+    /** Runtime nprobe override (scenario knob); 0 ignored. */
+    void setRetrievalNprobe(std::size_t nprobe)
+    {
+        index_->setNprobe(nprobe);
+    }
+
+    /** Bytes the retrieval backend holds (memory-budget axis). */
+    std::size_t retrievalMemoryBytes() const
+    {
+        return index_->memoryBytes();
+    }
+
+    /** Exact-row oracle over cached entries (RowSource). */
+    const float *row(std::uint64_t id) const override
+    {
+        const auto it = entries_.find(id);
+        return it == entries_.end()
+            ? nullptr
+            : it->second.textEmbedding.vec().data();
+    }
 
     /** Lookups compared against an exhaustive scan (recall@1). */
     std::uint64_t recallChecked() const { return recallChecked_; }

@@ -108,6 +108,14 @@ class FlatIndex final : public VectorIndex
     /** Remove everything. */
     void clear() override;
 
+    /** Flat rows + ids + locator payloads; ~4 * dim + 32 per entry. */
+    std::size_t memoryBytes() const override
+    {
+        return rows_.size() * sizeof(float) +
+            ids_.size() * sizeof(std::uint64_t) +
+            locatorBytes(slotOf_.size(), sizeof(std::size_t));
+    }
+
   private:
     /** Scored slot, the unit the scan and merge operate on. */
     struct SlotScore

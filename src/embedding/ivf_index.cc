@@ -31,7 +31,11 @@ IvfIndex::IvfIndex(const RetrievalBackendConfig &config, std::size_t dim)
     MODM_ASSERT(config_.nlist <= kMaxTrainRows,
                 "ivf nlist %zu exceeds the training-sample cap %zu",
                 config_.nlist, kMaxTrainRows);
-    config_.nprobe = std::max<std::size_t>(1, config_.nprobe);
+    // makeVectorIndex validates with a thrown diagnostic before this
+    // runs; the assert only backstops direct construction.
+    MODM_ASSERT(config_.nprobe >= 1 && config_.nprobe <= config_.nlist,
+                "ivf nprobe %zu must be in [1, nlist %zu]",
+                config_.nprobe, config_.nlist);
 }
 
 std::size_t
@@ -415,6 +419,27 @@ IvfIndex::approximate() const
 {
     return trained_ && std::min(effectiveNprobe(), lists_.size()) <
         lists_.size();
+}
+
+std::size_t
+IvfIndex::memoryBytes() const
+{
+    std::size_t bytes = centroids_.size() * sizeof(float) +
+        locatorBytes(locator_.size(), sizeof(Location));
+    for (const List &l : lists_)
+        bytes += l.rows.size() * sizeof(float) +
+            l.ids.size() * sizeof(std::uint64_t);
+    return bytes;
+}
+
+void
+IvfIndex::setNprobe(std::size_t nprobe)
+{
+    if (nprobe == 0)
+        return; // 0 = leave the configured value
+    // probeLists clamps to the list count, so a too-large override
+    // degrades to the exhaustive probe rather than faulting mid-run.
+    config_.nprobe = nprobe;
 }
 
 void

@@ -74,6 +74,12 @@ class IvfIndex final : public VectorIndex
                             std::size_t k) const override;
     void clear() override;
 
+    /** List rows + ids + centroids + locator payloads. */
+    std::size_t memoryBytes() const override;
+
+    /** Runtime nprobe override (scenario knob); 0 ignored. */
+    void setNprobe(std::size_t nprobe) override;
+
     /** Approximate once trained and probing fewer than all lists. */
     bool approximate() const override;
 

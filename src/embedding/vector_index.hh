@@ -6,7 +6,7 @@
  *
  * MoDM's whole serving loop hinges on one hot path — cosine retrieval
  * over the image/latent cache — so the backend is a first-class measured
- * knob rather than an implementation detail. Two backends exist today:
+ * knob rather than an implementation detail. Four backends exist today:
  *
  *  - Flat (FlatIndex, index.hh): exact brute-force scan, optionally
  *    sharded across the thread pool. Bit-for-bit the pre-refactor
@@ -15,12 +15,20 @@
  *  - IVF (IvfIndex, ivf_index.hh): inverted-file approximate search
  *    with deterministic seeded k-means coarse clustering and an nprobe
  *    knob. Sub-linear scans at 100k-1M entries at a small recall cost.
+ *  - HNSW (HnswIndex, hnsw_index.hh): deterministic seeded hierarchical
+ *    navigable-small-world graph. Logarithmic-ish search at million-row
+ *    scale, incremental insert, tombstone + neighbor-repair removal
+ *    matching cache churn, and an efSearch recall/latency knob.
+ *  - IVF-PQ (IvfPqIndex, ivf_pq_index.hh): product-quantized residual
+ *    codes over the IVF coarse clustering — ~8-32x smaller per entry
+ *    than flat rows — with asymmetric distance tables on query and an
+ *    exact re-rank of the top candidates when a RowSource is attached.
  *
  * Every backend supports incremental insert/remove (the FIFO/LRU/
- * Utility eviction policies need both) and is deterministic: equal
- * construction sequences and equal queries yield equal results,
- * machine-independently. Future backends (HNSW, PQ) drop in behind the
- * same interface.
+ * Utility eviction policies need both), reports its exact memory
+ * footprint (memoryBytes — the sweep's bytes-per-entry axis), and is
+ * deterministic: equal construction sequences and equal queries yield
+ * equal results, machine-independently.
  */
 
 #ifndef MODM_EMBEDDING_VECTOR_INDEX_HH
@@ -28,6 +36,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/embedding/embedding.hh"
@@ -46,10 +55,29 @@ enum class RetrievalBackend
 {
     Flat,  ///< exact brute-force scan (the default)
     Ivf,   ///< inverted-file approximate search
+    Hnsw,  ///< hierarchical navigable-small-world graph
+    IvfPq, ///< product-quantized codes over IVF coarse clustering
 };
 
 /** Printable backend name. */
 const char *retrievalBackendName(RetrievalBackend kind);
+
+/**
+ * Optional exact-row oracle an index may consult for rows it stores
+ * only in compressed form (IVF-PQ re-ranking and recall accounting).
+ * The caches implement this over the embeddings they already keep per
+ * entry, so attaching a source costs no extra memory; row() may return
+ * nullptr when the id's row is unavailable, and the index must then
+ * fall back to its own (approximate) representation.
+ */
+class RowSource
+{
+  public:
+    virtual ~RowSource() = default;
+
+    /** Exact row for `id` (dim floats), or nullptr when unknown. */
+    virtual const float *row(std::uint64_t id) const = 0;
+};
 
 /** Backend selection plus the knobs the approximate backends expose. */
 struct RetrievalBackendConfig
@@ -80,6 +108,45 @@ struct RetrievalBackendConfig
     bool adaptiveNprobe = false;
     /** IVF: probe floor the adaptive scheduler never sheds below. */
     std::size_t minNprobe = 1;
+
+    /**
+     * HNSW: max out-degree per node on layers above 0 (layer 0 keeps
+     * 2M links). Higher M = denser graph = better recall, more memory
+     * (~4(M + 2M) bytes of links per entry) and slower inserts.
+     */
+    std::size_t hnswM = 16;
+    /**
+     * HNSW: beam width while building (candidates tracked per layer
+     * during insert). Build-time recall knob; does not affect queries.
+     */
+    std::size_t efConstruction = 128;
+    /**
+     * HNSW: beam width while searching layer 0. The recall/latency
+     * knob (queries always track at least k candidates).
+     */
+    std::size_t efSearch = 64;
+    /**
+     * HNSW: shed efSearch linearly toward minEfSearch as the monitor's
+     * load signal rises (the HNSW analogue of adaptiveNprobe, fed by
+     * the same setLoadSignal hook). Off by default.
+     */
+    bool adaptiveEfSearch = false;
+    /** HNSW: beam floor the adaptive scheduler never sheds below. */
+    std::size_t minEfSearch = 8;
+
+    /**
+     * IVF-PQ: subquantizer count — each embedding splits into pqM
+     * contiguous subvectors of dim/pqM floats, each encoded to one
+     * code. Must divide the embedding dimension. Codes cost
+     * pqM * pqBits / 8 bytes per entry (vs 4 * dim flat).
+     */
+    std::size_t pqM = 8;
+    /**
+     * IVF-PQ: bits per code (4 or 8 — codes pack into whole bytes);
+     * each subspace trains 2^pqBits codewords.
+     */
+    std::size_t pqBits = 8;
+
     /**
      * Caches compare approximate retrievals against an exhaustive scan
      * and report recall@1 (quality attribution: an approximate hit may
@@ -132,6 +199,15 @@ class VectorIndex
     /** Remove everything (keeps tuning state). */
     virtual void clear() = 0;
 
+    /**
+     * Exact bytes of index-owned storage right now: rows, codes, graph
+     * links, centroids, codebooks, ids, and locator-map payloads. A
+     * pure function of the construction sequence (no capacity or
+     * allocator slack), so it digests deterministically; the sweep's
+     * bytes-per-entry axis is memoryBytes() / size().
+     */
+    virtual std::size_t memoryBytes() const = 0;
+
     /** True when best/topK may differ from an exhaustive scan. */
     virtual bool approximate() const { return false; }
 
@@ -161,15 +237,55 @@ class VectorIndex
     /**
      * Normalized serving load in [0, 1], fed by the monitor each
      * period. Backends with load-adaptive search (IVF with
-     * adaptiveNprobe) shed work as load rises; everything else
-     * ignores it.
+     * adaptiveNprobe, HNSW with adaptiveEfSearch) shed work as load
+     * rises; everything else ignores it.
      */
     virtual void setLoadSignal(double load) { (void)load; }
+
+    /**
+     * Attach (or detach, with nullptr) an exact-row oracle. The source
+     * must outlive the index or be detached first; backends that store
+     * exact rows themselves ignore it.
+     */
+    virtual void setRowSource(const RowSource *source) { (void)source; }
+
+    /**
+     * Runtime search-knob overrides (the scenario DSL's `set ef` /
+     * `set nprobe` ops). Backends without the knob ignore the call;
+     * 0 is ignored everywhere.
+     */
+    virtual void setEfSearch(std::size_t ef) { (void)ef; }
+    virtual void setNprobe(std::size_t nprobe) { (void)nprobe; }
 };
+
+/**
+ * Deterministic accounting for the id -> payload locator hash maps
+ * every backend keeps: key + payload + one bucket pointer per entry.
+ * Counts no load-factor or allocator slack, so memoryBytes() stays a
+ * pure function of the construction sequence.
+ */
+inline std::size_t
+locatorBytes(std::size_t entries, std::size_t payloadBytes)
+{
+    return entries *
+        (sizeof(std::uint64_t) + payloadBytes + sizeof(void *));
+}
+
+/**
+ * Validate `config` for embeddings of dimension `dim`. Returns an
+ * empty string when well-formed; otherwise a message naming the
+ * offending knob and the constraint it broke (e.g. "pqM (5) must
+ * divide the embedding dimension (64)"). Never asserts.
+ */
+std::string validateRetrievalConfig(const RetrievalBackendConfig &config,
+                                    std::size_t dim);
 
 /**
  * Build the configured backend for embeddings of dimension `dim`.
  * Flat ignores every knob except the parallelism hints set later.
+ * Throws std::invalid_argument with the validateRetrievalConfig
+ * message on a malformed config — config files and sweep axes get a
+ * diagnostic naming the knob, never a silent clamp or an assert.
  */
 std::unique_ptr<VectorIndex>
 makeVectorIndex(const RetrievalBackendConfig &config, std::size_t dim);

@@ -36,6 +36,10 @@ enum class KnobTarget
     CacheCapacity,
     /** Replication factor k under Replicated partitioning. */
     ReplicationFactor,
+    /** Retrieval efSearch override (HNSW backends; others ignore). */
+    RetrievalEf,
+    /** Retrieval nprobe override (IVF backends; others ignore). */
+    RetrievalNprobe,
 };
 
 /** Printable knob name. */
@@ -90,6 +94,28 @@ struct KnobPlan
         event.time = time;
         event.target = KnobTarget::ReplicationFactor;
         event.value = replicas;
+        events.push_back(event);
+        return *this;
+    }
+
+    /** Convenience: append a retrieval efSearch override. */
+    KnobPlan &setRetrievalEf(double time, std::size_t ef)
+    {
+        KnobEvent event;
+        event.time = time;
+        event.target = KnobTarget::RetrievalEf;
+        event.value = ef;
+        events.push_back(event);
+        return *this;
+    }
+
+    /** Convenience: append a retrieval nprobe override. */
+    KnobPlan &setRetrievalNprobe(double time, std::size_t nprobe)
+    {
+        KnobEvent event;
+        event.time = time;
+        event.target = KnobTarget::RetrievalNprobe;
+        event.value = nprobe;
         events.push_back(event);
         return *this;
     }

@@ -425,6 +425,18 @@ ServingNode::setCacheShardCapacity(std::size_t capacity)
     scheduler_->setCacheCapacity(capacity);
 }
 
+void
+ServingNode::setRetrievalEf(std::size_t ef)
+{
+    scheduler_->setRetrievalEf(ef);
+}
+
+void
+ServingNode::setRetrievalNprobe(std::size_t nprobe)
+{
+    scheduler_->setRetrievalNprobe(nprobe);
+}
+
 double
 ServingNode::downtimeS(double until) const
 {
@@ -548,6 +560,7 @@ ServingNode::stats(double duration) const
         stats.cacheSize = latents->size();
         stats.cacheBytes = latents->storedBytes();
     }
+    stats.retrievalMemoryBytes = scheduler_->retrievalMemoryBytes();
     // A dead node draws no idle power; with no faults the downtime is
     // zero and this reproduces the original accounting bit-for-bit.
     stats.energyJ = cluster_.totalEnergyJ(duration) -

@@ -74,6 +74,8 @@ struct NodeStats
     /** Node cache shard occupancy. */
     std::size_t cacheSize = 0;
     double cacheBytes = 0.0;
+    /** Bytes the shard's retrieval backend holds (memory-budget axis). */
+    std::size_t retrievalMemoryBytes = 0;
     /** Node pool energy over the run. */
     double energyJ = 0.0;
     std::uint64_t modelSwitches = 0;
@@ -185,6 +187,12 @@ class ServingNode
      * shrinking.
      */
     void setCacheShardCapacity(std::size_t capacity);
+
+    /** Scripted knob change: retrieval efSearch override (0 ignored). */
+    void setRetrievalEf(std::size_t ef);
+
+    /** Scripted knob change: retrieval nprobe override (0 ignored). */
+    void setRetrievalNprobe(std::size_t nprobe);
 
     /** False from kill() until rejoin(). */
     bool alive() const { return alive_; }

@@ -90,6 +90,10 @@ retrievalBackend(workload::ScenarioRetrieval retrieval)
         return embedding::RetrievalBackend::Flat;
       case workload::ScenarioRetrieval::Ivf:
         return embedding::RetrievalBackend::Ivf;
+      case workload::ScenarioRetrieval::Hnsw:
+        return embedding::RetrievalBackend::Hnsw;
+      case workload::ScenarioRetrieval::IvfPq:
+        return embedding::RetrievalBackend::IvfPq;
     }
     panic("unmapped ScenarioRetrieval");
 }
@@ -174,6 +178,10 @@ scenarioCellConfig(const workload::Scenario &scenario,
         cachePartitioning(params.partitioning);
     config.cluster.replicationFactor = params.replicas;
     config.retrieval.kind = retrievalBackend(params.retrieval);
+    if (params.retrievalEf > 0)
+        config.retrieval.efSearch = params.retrievalEf;
+    if (params.retrievalNprobe > 0)
+        config.retrieval.nprobe = params.retrievalNprobe;
 
     for (const auto &op : scenario.ops) {
         switch (op.kind) {
@@ -192,6 +200,14 @@ scenarioCellConfig(const workload::Scenario &scenario,
                 break;
               case workload::ScenarioKnob::Replicas:
                 config.knobs.setReplicationFactor(
+                    op.time, static_cast<std::size_t>(op.knobValue));
+                break;
+              case workload::ScenarioKnob::Ef:
+                config.knobs.setRetrievalEf(
+                    op.time, static_cast<std::size_t>(op.knobValue));
+                break;
+              case workload::ScenarioKnob::Nprobe:
+                config.knobs.setRetrievalNprobe(
                     op.time, static_cast<std::size_t>(op.knobValue));
                 break;
             }

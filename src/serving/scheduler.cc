@@ -162,6 +162,35 @@ RequestScheduler::setRetrievalLoad(double load)
 }
 
 void
+RequestScheduler::setRetrievalEf(std::size_t ef)
+{
+    if (imageCache_)
+        imageCache_->setRetrievalEf(ef);
+    if (latentCache_)
+        latentCache_->setRetrievalEf(ef);
+}
+
+void
+RequestScheduler::setRetrievalNprobe(std::size_t nprobe)
+{
+    if (imageCache_)
+        imageCache_->setRetrievalNprobe(nprobe);
+    if (latentCache_)
+        latentCache_->setRetrievalNprobe(nprobe);
+}
+
+std::size_t
+RequestScheduler::retrievalMemoryBytes() const
+{
+    std::size_t bytes = 0;
+    if (imageCache_)
+        bytes += imageCache_->retrievalMemoryBytes();
+    if (latentCache_)
+        bytes += latentCache_->retrievalMemoryBytes();
+    return bytes;
+}
+
+void
 RequestScheduler::clearCaches()
 {
     if (imageCache_)

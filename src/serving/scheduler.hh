@@ -158,11 +158,23 @@ class RequestScheduler
 
     /**
      * Forward the monitor's normalized load signal to the retrieval
-     * backends, so an adaptive IVF index can shed probes under
-     * pressure. A no-op for exact backends and when
-     * RetrievalBackendConfig::adaptiveNprobe is off.
+     * backends, so an adaptive index can shed probes (IVF) or beam
+     * width (HNSW) under pressure. A no-op for exact backends and when
+     * the matching adaptive knob is off.
      */
     void setRetrievalLoad(double load);
+
+    /** Forward a runtime efSearch override (scenario knob); 0 ignored. */
+    void setRetrievalEf(std::size_t ef);
+
+    /** Forward a runtime nprobe override (scenario knob); 0 ignored. */
+    void setRetrievalNprobe(std::size_t nprobe);
+
+    /**
+     * Bytes the active retrieval backend holds right now (the
+     * memory-budget axis); 0 when this system runs no cache.
+     */
+    std::size_t retrievalMemoryBytes() const;
 
     /**
      * Drop all cached content (image and latent caches): a killed

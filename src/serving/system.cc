@@ -77,6 +77,14 @@ resultDigest(const ServingResult &result)
     }
     emit("outputs=%zu imageHash=%llx\n", result.images.size(),
          static_cast<unsigned long long>(imageHash));
+    // Retrieval-memory accounting appears only for non-flat backends,
+    // so every digest produced under the exact default keeps its
+    // frozen format.
+    if (result.retrievalBackend != embedding::RetrievalBackend::Flat) {
+        emit("R %s bytes=%zu\n",
+             embedding::retrievalBackendName(result.retrievalBackend),
+             result.retrievalMemoryBytes);
+    }
     // Failover telemetry appears only for runs with a fault plan, so
     // every digest produced without one keeps its frozen format.
     if (result.failover.active) {
@@ -268,6 +276,14 @@ ServingSystem::onKnob(const KnobEvent &event)
         // node has no ring and the change is a no-op there.
         config_.cluster.replicationFactor = event.value;
         break;
+      case KnobTarget::RetrievalEf:
+        for (auto &node : nodes_)
+            node->setRetrievalEf(event.value);
+        break;
+      case KnobTarget::RetrievalNprobe:
+        for (auto &node : nodes_)
+            node->setRetrievalNprobe(event.value);
+        break;
     }
 }
 
@@ -324,6 +340,8 @@ ServingSystem::run(const workload::Trace &trace)
     result_.modelSwitches = 0;
     result_.cacheSize = 0;
     result_.cacheBytes = 0.0;
+    result_.retrievalBackend = config_.retrieval.kind;
+    result_.retrievalMemoryBytes = 0;
     result_.numNodes = nodes_.size();
     result_.nodes.clear();
     result_.nodes.reserve(nodes_.size());
@@ -338,6 +356,7 @@ ServingSystem::run(const workload::Trace &trace)
         result_.modelSwitches += ns.modelSwitches;
         result_.cacheSize += ns.cacheSize;
         result_.cacheBytes += ns.cacheBytes;
+        result_.retrievalMemoryBytes += ns.retrievalMemoryBytes;
         result_.nodes.push_back(ns);
     }
     result_.retrievalChecked = checked;

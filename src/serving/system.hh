@@ -54,6 +54,14 @@ struct ServingResult
     double retrievalRecallAt1 = 1.0;
     /** Lookups behind retrievalRecallAt1 (0 under exact backends). */
     std::uint64_t retrievalChecked = 0;
+    /** Retrieval backend the run used (config_.retrieval.kind). */
+    embedding::RetrievalBackend retrievalBackend =
+        embedding::RetrievalBackend::Flat;
+    /**
+     * Bytes the retrieval backends held at run end, summed over node
+     * shards — the memory-budget axis of the backend trade-off.
+     */
+    std::size_t retrievalMemoryBytes = 0;
     /** Total cluster energy (compute + idle) in joules. */
     double energyJ = 0.0;
     /** Model switches across workers. */

@@ -87,6 +87,8 @@ const EnumTok<ScenarioPartitioning> kPartitionings[] = {
 const EnumTok<ScenarioRetrieval> kRetrievals[] = {
     {ScenarioRetrieval::Flat, "flat"},
     {ScenarioRetrieval::Ivf, "ivf"},
+    {ScenarioRetrieval::Hnsw, "hnsw"},
+    {ScenarioRetrieval::IvfPq, "ivf-pq"},
 };
 
 const EnumTok<ScenarioReport> kReports[] = {
@@ -302,6 +304,71 @@ parseSmallList(const std::string &value, std::vector<ScenarioModel> &out,
 }
 
 /**
+ * Parse a retrieval value: a backend token optionally followed by
+ * comma-separated search-knob suffixes (`hnsw,ef=64`,
+ * `ivf-pq,nprobe=16`). Selecting a backend resets both knobs to 0
+ * (backend defaults) before applying suffixes, so a cell override
+ * fully specifies its retrieval configuration.
+ */
+bool
+parseRetrievalValue(ScenarioParams &params, const std::string &value,
+                    std::string &err)
+{
+    std::size_t comma = value.find(',');
+    const std::string backend = value.substr(0, comma);
+    if (!lookupEnum(kRetrievals, backend, params.retrieval)) {
+        err = "unknown retrieval backend '" + backend + "' (expected " +
+              enumChoices(kRetrievals) + ")";
+        return false;
+    }
+    params.retrievalEf = 0;
+    params.retrievalNprobe = 0;
+    while (comma != std::string::npos) {
+        const std::size_t start = comma + 1;
+        comma = value.find(',', start);
+        const std::string knob = value.substr(
+            start, comma == std::string::npos ? comma : comma - start);
+        const std::size_t eq = knob.find('=');
+        const std::string name = knob.substr(0, eq);
+        std::size_t parsed = 0;
+        if (eq == std::string::npos ||
+            !parseSize(knob.substr(eq + 1), parsed) || parsed == 0) {
+            err = "retrieval knob must look like ef=<n> or "
+                  "nprobe=<n> with n >= 1, got '" +
+                  knob + "'";
+            return false;
+        }
+        if (name == "ef") {
+            if (params.retrieval != ScenarioRetrieval::Hnsw) {
+                err = "retrieval knob ef requires the hnsw backend "
+                      "(got " +
+                      std::string(enumToken(kRetrievals,
+                                            params.retrieval)) +
+                      ")";
+                return false;
+            }
+            params.retrievalEf = parsed;
+        } else if (name == "nprobe") {
+            if (params.retrieval != ScenarioRetrieval::Ivf &&
+                params.retrieval != ScenarioRetrieval::IvfPq) {
+                err = "retrieval knob nprobe requires an ivf backend "
+                      "(got " +
+                      std::string(enumToken(kRetrievals,
+                                            params.retrieval)) +
+                      ")";
+                return false;
+            }
+            params.retrievalNprobe = parsed;
+        } else {
+            err = "unknown retrieval knob '" + name +
+                  "' (expected ef|nprobe)";
+            return false;
+        }
+    }
+    return true;
+}
+
+/**
  * Apply one `key value` pair to a param block. `known` reports whether
  * the key was a param key at all; the return value is false (with a
  * message in `err`) when the key was known but the value is bad.
@@ -355,8 +422,7 @@ applyParamField(ScenarioParams &params, const std::string &key,
     if (key == "replicas")
         return positive(params.replicas);
     if (key == "retrieval")
-        return lookupEnum(kRetrievals, value, params.retrieval) ||
-               badEnum("retrieval backend", enumChoices(kRetrievals));
+        return parseRetrievalValue(params, value, err);
     known = false;
     return true;
 }
@@ -386,8 +452,16 @@ paramValueToken(const ScenarioParams &params, const std::string &key)
         return enumToken(kPartitionings, params.partitioning);
     if (key == "replicas")
         return fmtU64(params.replicas);
-    if (key == "retrieval")
-        return enumToken(kRetrievals, params.retrieval);
+    if (key == "retrieval") {
+        std::string out = enumToken(kRetrievals, params.retrieval);
+        // Nonzero knobs only: defaults keep the bare backend token, so
+        // scenarios written before the knobs existed digest unchanged.
+        if (params.retrievalEf > 0)
+            out += ",ef=" + fmtU64(params.retrievalEf);
+        if (params.retrievalNprobe > 0)
+            out += ",nprobe=" + fmtU64(params.retrievalNprobe);
+        return out;
+    }
     panic("unknown param key '%s'", key.c_str());
 }
 
@@ -429,6 +503,12 @@ opLine(const ScenarioOp &op)
                    fmtU64(static_cast<std::uint64_t>(op.knobValue));
           case ScenarioKnob::Replicas:
             return out + "set replicas " +
+                   fmtU64(static_cast<std::uint64_t>(op.knobValue));
+          case ScenarioKnob::Ef:
+            return out + "set ef " +
+                   fmtU64(static_cast<std::uint64_t>(op.knobValue));
+          case ScenarioKnob::Nprobe:
+            return out + "set nprobe " +
                    fmtU64(static_cast<std::uint64_t>(op.knobValue));
         }
         panic("unmapped knob");
@@ -549,9 +629,17 @@ Parser::handleHeader(const std::vector<Tok> &toks)
     const std::string &key = toks[0].text;
     if (!seenKeys_.insert(key).second)
         return fail("duplicate directive '" + key + "'");
-    if (toks.size() != 2)
+    if (toks.size() != 2 && (key != "retrieval" || toks.size() < 2))
         return fail("directive '" + key + "' expects exactly one value");
-    const std::string &value = toks[1].text;
+    // `retrieval hnsw ef=64` is sugar for `retrieval hnsw,ef=64`; the
+    // comma form is canonical (and the only form a cell override takes).
+    std::string joined = toks[1].text;
+    for (std::size_t i = 2; i < toks.size(); ++i) {
+        if (toks[i].quoted)
+            return fail("retrieval knobs must be bare key=value pairs");
+        joined += "," + toks[i].text;
+    }
+    const std::string &value = joined;
 
     if (key == "scenario") {
         if (toks[1].quoted || value.empty())
@@ -780,7 +868,7 @@ Parser::handleOp(const std::vector<Tok> &toks)
                         toks[5].text + "'");
     } else if (verb == "set") {
         op.kind = ScenarioOp::Kind::Knob;
-        if (!want(5, "set mode|cache|replicas <value>"))
+        if (!want(5, "set mode|cache|replicas|ef|nprobe <value>"))
             return false;
         const std::string &target = toks[3].text;
         const std::string &value = toks[4].text;
@@ -805,9 +893,21 @@ Parser::handleOp(const std::vector<Tok> &toks)
             if (!positiveSize(4, "replicas", replicas))
                 return false;
             op.knobValue = static_cast<double>(replicas);
+        } else if (target == "ef") {
+            op.knob = ScenarioKnob::Ef;
+            std::size_t ef = 0;
+            if (!positiveSize(4, "ef", ef))
+                return false;
+            op.knobValue = static_cast<double>(ef);
+        } else if (target == "nprobe") {
+            op.knob = ScenarioKnob::Nprobe;
+            std::size_t nprobe = 0;
+            if (!positiveSize(4, "nprobe", nprobe))
+                return false;
+            op.knobValue = static_cast<double>(nprobe);
         } else {
             return fail("unknown knob '" + target +
-                        "' (expected mode|cache|replicas)");
+                        "' (expected mode|cache|replicas|ef|nprobe)");
         }
     } else if (lookupEnum(kFaultVerbs, verb, op.fault)) {
         op.kind = ScenarioOp::Kind::Fault;
@@ -1034,23 +1134,45 @@ bool
 Parser::validateKnobOps()
 {
     for (const auto &op : out_.ops) {
-        if (op.kind != ScenarioOp::Kind::Knob ||
-            op.knob != ScenarioKnob::Replicas)
+        if (op.kind != ScenarioOp::Kind::Knob)
             continue;
         for (std::size_t i = 0; i < out_.cellCount(); ++i) {
             const auto cell = out_.cell(i);
-            if (cell.params.partitioning !=
-                ScenarioPartitioning::Replicated)
-                return failAt(op.line,
-                              "replicas knob requires partitioning "
-                              "replicated (cell \"" +
-                                  cell.label + "\" is sharded)");
-            if (op.knobValue > static_cast<double>(cell.params.nodes))
-                return failAt(op.line,
-                              "replicas knob exceeds the " +
-                                  fmtU64(cell.params.nodes) +
-                                  " nodes of cell \"" + cell.label +
-                                  "\"");
+            if (op.knob == ScenarioKnob::Replicas) {
+                if (cell.params.partitioning !=
+                    ScenarioPartitioning::Replicated)
+                    return failAt(op.line,
+                                  "replicas knob requires partitioning "
+                                  "replicated (cell \"" +
+                                      cell.label + "\" is sharded)");
+                if (op.knobValue >
+                    static_cast<double>(cell.params.nodes))
+                    return failAt(op.line,
+                                  "replicas knob exceeds the " +
+                                      fmtU64(cell.params.nodes) +
+                                      " nodes of cell \"" + cell.label +
+                                      "\"");
+            } else if (op.knob == ScenarioKnob::Ef) {
+                if (cell.params.retrieval != ScenarioRetrieval::Hnsw)
+                    return failAt(
+                        op.line,
+                        "ef knob requires retrieval hnsw (cell \"" +
+                            cell.label + "\" uses " +
+                            enumToken(kRetrievals,
+                                      cell.params.retrieval) +
+                            ")");
+            } else if (op.knob == ScenarioKnob::Nprobe) {
+                if (cell.params.retrieval != ScenarioRetrieval::Ivf &&
+                    cell.params.retrieval != ScenarioRetrieval::IvfPq)
+                    return failAt(
+                        op.line,
+                        "nprobe knob requires an ivf retrieval "
+                        "backend (cell \"" +
+                            cell.label + "\" uses " +
+                            enumToken(kRetrievals,
+                                      cell.params.retrieval) +
+                            ")");
+            }
         }
     }
     return true;

@@ -12,15 +12,24 @@
  *    equal centroids and equal query results) and must hold
  *    recall@1 >= 0.95 at the default nprobe on clustered synthetic
  *    embeddings, including under interleaved insert/evict churn.
+ *  - HnswIndex and IvfPqIndex must be deterministic across rebuilds,
+ *    hold recall@1 >= 0.9 on clustered embeddings under FIFO
+ *    insert/evict churn, stay correct after heavy removal (tombstone
+ *    repair / swap-remove), and account their memory exactly.
+ *  - makeVectorIndex must reject malformed configs with a thrown
+ *    diagnostic naming the knob (never a silent clamp), and the
+ *    direct constructors must assert-abort as a backstop.
  *  - The backend seam itself: caches build the configured backend and
- *    surface recall accounting; serving runs complete on either
- *    backend with recall wired through to the result.
+ *    surface recall accounting; serving runs complete on any backend
+ *    with recall wired through to the result.
  */
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cstring>
+#include <stdexcept>
+#include <string>
 #include <type_traits>
 #include <unordered_map>
 #include <vector>
@@ -28,8 +37,10 @@
 #include "src/cache/image_cache.hh"
 #include "src/common/rng.hh"
 #include "src/diffusion/sampler.hh"
+#include "src/embedding/hnsw_index.hh"
 #include "src/embedding/index.hh"
 #include "src/embedding/ivf_index.hh"
+#include "src/embedding/ivf_pq_index.hh"
 #include "src/embedding/vector_index.hh"
 #include "src/serving/system.hh"
 #include "src/workload/generator.hh"
@@ -424,6 +435,358 @@ TEST(IvfIndexSeam, EmptyProbedListsWidenToExhaustiveScan)
         EXPECT_TRUE(ivf.contains(m.id));
 }
 
+/** Exact-row oracle over a side map (what the caches provide). */
+class MapRowSource final : public RowSource
+{
+  public:
+    void put(std::uint64_t id, const Embedding &e) { rows_[id] = e; }
+    void drop(std::uint64_t id) { rows_.erase(id); }
+
+    const float *row(std::uint64_t id) const override
+    {
+        const auto it = rows_.find(id);
+        return it == rows_.end() ? nullptr : it->second.vec().data();
+    }
+
+  private:
+    std::unordered_map<std::uint64_t, Embedding> rows_;
+};
+
+TEST(HnswIndexSeam, FullyDeterministicAcrossRebuilds)
+{
+    const auto centers = makeCenters(48, 5);
+    RetrievalBackendConfig config;
+    config.kind = RetrievalBackend::Hnsw;
+
+    // Two graphs fed the identical insert/remove sequence must agree
+    // exactly on every query — layers, links, tiebreaks, compactions,
+    // all of it a pure function of (sequence, seed).
+    HnswIndex a(config), b(config);
+    Rng rngA(77), rngB(77);
+    const auto feed = [&centers](HnswIndex &index, Rng &rng) {
+        std::uint64_t nextId = 0;
+        for (std::size_t step = 0; step < 3000; ++step) {
+            if (nextId > 400 && rng.bernoulli(0.3)) {
+                const std::uint64_t id = rng.uniformInt(nextId);
+                index.remove(id); // may be absent; both feeds agree
+            } else {
+                index.insert(nextId++, clusteredEmbedding(centers, rng));
+            }
+        }
+    };
+    feed(a, rngA);
+    feed(b, rngB);
+
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(a.slots(), b.slots());
+    EXPECT_EQ(a.compactions(), b.compactions());
+    EXPECT_EQ(a.memoryBytes(), b.memoryBytes());
+
+    Rng qrng(123);
+    for (std::size_t q = 0; q < 60; ++q) {
+        const auto query = clusteredEmbedding(centers, qrng);
+        const auto bestA = a.best(query);
+        const auto bestB = b.best(query);
+        EXPECT_EQ(bestA.id, bestB.id);
+        EXPECT_EQ(bestA.similarity, bestB.similarity);
+        expectSameMatches(a.topK(query, 7), b.topK(query, 7),
+                          "hnsw determinism topK");
+    }
+}
+
+TEST(HnswIndexSeam, RecallAtLeast90UnderInsertEvictChurn)
+{
+    const auto centers = makeCenters(64, 13);
+    RetrievalBackendConfig config;
+    config.kind = RetrievalBackend::Hnsw;
+
+    HnswIndex hnsw(config);
+    FlatIndex exact;
+    Rng rng(91);
+    constexpr std::size_t kWindow = 4000;
+    constexpr std::size_t kOps = 12000;
+    std::size_t agreed = 0, checked = 0;
+    Rng qrng(17);
+    // FIFO eviction: the oldest id leaves as each new one arrives —
+    // exactly the churn MoDM's sliding-window cache applies.
+    for (std::uint64_t id = 0; id < kOps; ++id) {
+        const auto e = clusteredEmbedding(centers, rng);
+        hnsw.insert(id, e);
+        exact.insert(id, e);
+        if (id >= kWindow) {
+            ASSERT_TRUE(hnsw.remove(id - kWindow));
+            ASSERT_TRUE(exact.remove(id - kWindow));
+        }
+        if (id > kWindow && id % 40 == 0) {
+            const auto query = clusteredEmbedding(centers, qrng);
+            const auto got = hnsw.best(query);
+            EXPECT_TRUE(hnsw.contains(got.id)); // never a tombstone
+            if (got.id == exact.best(query).id)
+                ++agreed;
+            ++checked;
+        }
+    }
+    ASSERT_EQ(hnsw.size(), exact.size());
+    ASSERT_GT(checked, std::size_t{150});
+    const double recall =
+        static_cast<double>(agreed) / static_cast<double>(checked);
+    EXPECT_GE(recall, 0.9) << "hnsw recall@1 under churn, " << checked
+                           << " checks";
+    // exactBest must agree with the flat truth (recall accounting).
+    Rng vrng(29);
+    for (std::size_t q = 0; q < 20; ++q) {
+        const auto query = clusteredEmbedding(centers, vrng);
+        EXPECT_EQ(hnsw.exactBest(query).id, exact.best(query).id);
+    }
+}
+
+TEST(HnswIndexSeam, TombstoneRepairSurvivesHeavyRemoval)
+{
+    const auto centers = makeCenters(32, 21);
+    RetrievalBackendConfig config;
+    config.kind = RetrievalBackend::Hnsw;
+
+    HnswIndex hnsw(config);
+    FlatIndex exact;
+    Rng rng(3);
+    constexpr std::uint64_t kRows = 2000;
+    for (std::uint64_t id = 0; id < kRows; ++id) {
+        const auto e = clusteredEmbedding(centers, rng);
+        hnsw.insert(id, e);
+        exact.insert(id, e);
+    }
+    // Remove 85% in a pseudo-random order: every entry point
+    // replacement, neighbor repair, and the compaction threshold get
+    // exercised; the survivors must all stay reachable.
+    std::vector<std::uint64_t> ids(kRows);
+    for (std::uint64_t id = 0; id < kRows; ++id)
+        ids[id] = id;
+    Rng shuffle(55);
+    for (std::size_t i = ids.size(); i > 1; --i)
+        std::swap(ids[i - 1], ids[shuffle.uniformInt(i)]);
+    const std::size_t keep = kRows / 100 * 15;
+    for (std::size_t i = keep; i < ids.size(); ++i) {
+        ASSERT_TRUE(hnsw.remove(ids[i]));
+        ASSERT_TRUE(exact.remove(ids[i]));
+    }
+    ASSERT_EQ(hnsw.size(), keep);
+    EXPECT_GE(hnsw.compactions(), std::uint64_t{1});
+
+    std::size_t agreed = 0;
+    constexpr std::size_t kQueries = 200;
+    Rng qrng(47);
+    for (std::size_t q = 0; q < kQueries; ++q) {
+        const auto query = clusteredEmbedding(centers, qrng);
+        const auto got = hnsw.best(query);
+        EXPECT_TRUE(hnsw.contains(got.id));
+        if (got.id == exact.best(query).id)
+            ++agreed;
+        for (const auto &m : hnsw.topK(query, 5))
+            EXPECT_TRUE(hnsw.contains(m.id));
+    }
+    EXPECT_GE(static_cast<double>(agreed) /
+                  static_cast<double>(kQueries),
+              0.9);
+
+    // Down to one, to zero, and back up again.
+    std::vector<std::uint64_t> rest(ids.begin(), ids.begin() + keep);
+    for (const std::uint64_t id : rest)
+        ASSERT_TRUE(hnsw.remove(id));
+    EXPECT_EQ(hnsw.size(), std::size_t{0});
+    EXPECT_EQ(hnsw.best(Embedding(centers[0])).similarity, -1.0);
+    Rng rng2(9);
+    for (std::uint64_t id = 0; id < 50; ++id)
+        hnsw.insert(100000 + id, clusteredEmbedding(centers, rng2));
+    EXPECT_EQ(hnsw.size(), std::size_t{50});
+    EXPECT_TRUE(hnsw.contains(hnsw.best(Embedding(centers[0])).id));
+}
+
+TEST(HnswIndexSeam, AdaptiveEfSearchShedsMonotonically)
+{
+    const auto centers = makeCenters(64, 9);
+    RetrievalBackendConfig config;
+    config.kind = RetrievalBackend::Hnsw;
+    config.efSearch = 48;
+    config.adaptiveEfSearch = true;
+    config.minEfSearch = 2;
+
+    HnswIndex hnsw(config);
+    Rng rng(31);
+    for (std::uint64_t id = 0; id < 6000; ++id)
+        hnsw.insert(id, clusteredEmbedding(centers, rng));
+
+    std::size_t prev = 0;
+    for (const double load : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+        hnsw.setLoadSignal(load);
+        const std::size_t ef = hnsw.effectiveEfSearch();
+        if (load > 0.0) {
+            EXPECT_LE(ef, prev) << "load " << load;
+        }
+        prev = ef;
+    }
+    EXPECT_EQ(prev, std::size_t{2});
+    hnsw.setLoadSignal(0.0);
+    EXPECT_EQ(hnsw.effectiveEfSearch(), std::size_t{48});
+    // Off by default: an index without the knob ignores the signal.
+    RetrievalBackendConfig fixed;
+    fixed.kind = RetrievalBackend::Hnsw;
+    HnswIndex plain(fixed);
+    plain.setLoadSignal(1.0);
+    EXPECT_EQ(plain.effectiveEfSearch(), fixed.efSearch);
+    // The scenario knob overrides the configured beam at runtime.
+    plain.setEfSearch(96);
+    EXPECT_EQ(plain.effectiveEfSearch(), std::size_t{96});
+}
+
+TEST(IvfPqIndexSeam, FullyDeterministicAcrossRebuilds)
+{
+    const auto centers = makeCenters(48, 5);
+    RetrievalBackendConfig config;
+    config.kind = RetrievalBackend::IvfPq;
+
+    IvfPqIndex a(config), b(config);
+    Rng rngA(77), rngB(77);
+    const auto feed = [&centers](IvfPqIndex &index, Rng &rng) {
+        std::uint64_t nextId = 0;
+        for (std::size_t step = 0; step < 3000; ++step) {
+            if (nextId > 400 && rng.bernoulli(0.3)) {
+                const std::uint64_t id = rng.uniformInt(nextId);
+                index.remove(id);
+            } else {
+                index.insert(nextId++, clusteredEmbedding(centers, rng));
+            }
+        }
+    };
+    feed(a, rngA);
+    feed(b, rngB);
+
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(a.trainings(), b.trainings());
+    EXPECT_TRUE(a.trained());
+    EXPECT_EQ(a.memoryBytes(), b.memoryBytes());
+
+    Rng qrng(123);
+    for (std::size_t q = 0; q < 60; ++q) {
+        const auto query = clusteredEmbedding(centers, qrng);
+        const auto bestA = a.best(query);
+        const auto bestB = b.best(query);
+        EXPECT_EQ(bestA.id, bestB.id);
+        EXPECT_EQ(bestA.similarity, bestB.similarity);
+        expectSameMatches(a.topK(query, 7), b.topK(query, 7),
+                          "ivfpq determinism topK");
+    }
+}
+
+TEST(IvfPqIndexSeam, RerankedRecallAtLeast90UnderChurn)
+{
+    const auto centers = makeCenters(64, 13);
+    RetrievalBackendConfig config;
+    config.kind = RetrievalBackend::IvfPq;
+
+    IvfPqIndex pq(config);
+    FlatIndex exact;
+    MapRowSource source;
+    pq.setRowSource(&source);
+    Rng rng(91);
+    constexpr std::size_t kWindow = 6000;
+    constexpr std::size_t kOps = 20000;
+    std::size_t agreed = 0, checked = 0;
+    Rng qrng(17);
+    for (std::uint64_t id = 0; id < kOps; ++id) {
+        const auto e = clusteredEmbedding(centers, rng);
+        pq.insert(id, e);
+        exact.insert(id, e);
+        source.put(id, e);
+        if (id >= kWindow) {
+            ASSERT_TRUE(pq.remove(id - kWindow));
+            ASSERT_TRUE(exact.remove(id - kWindow));
+            source.drop(id - kWindow);
+        }
+        if (id > kWindow && id % 40 == 0) {
+            const auto query = clusteredEmbedding(centers, qrng);
+            if (pq.best(query).id == exact.best(query).id)
+                ++agreed;
+            ++checked;
+        }
+    }
+    ASSERT_EQ(pq.size(), exact.size());
+    ASSERT_TRUE(pq.trained());
+    ASSERT_TRUE(pq.approximate());
+    ASSERT_GT(checked, std::size_t{300});
+    const double recall =
+        static_cast<double>(agreed) / static_cast<double>(checked);
+    EXPECT_GE(recall, 0.9) << "ivfpq recall@1 under churn, " << checked
+                           << " checks";
+    // With the source attached exactBest is the flat truth itself.
+    Rng vrng(29);
+    for (std::size_t q = 0; q < 20; ++q) {
+        const auto query = clusteredEmbedding(centers, vrng);
+        EXPECT_EQ(pq.exactBest(query).id, exact.best(query).id);
+    }
+}
+
+TEST(IvfPqIndexSeam, CodesAreAFractionOfFlatRows)
+{
+    const auto centers = makeCenters(32, 7);
+    RetrievalBackendConfig config;
+    config.kind = RetrievalBackend::IvfPq;
+
+    IvfPqIndex pq(config);
+    FlatIndex flat;
+    Rng rng(5);
+    constexpr std::size_t kRows = 20000;
+    for (std::uint64_t id = 0; id < kRows; ++id) {
+        const auto e = clusteredEmbedding(centers, rng);
+        pq.insert(id, e);
+        flat.insert(id, e);
+    }
+    ASSERT_TRUE(pq.trained());
+    EXPECT_EQ(pq.codeBytes(), config.pqM * config.pqBits / 8);
+    // dim 64 flat rows cost 256 B against 8 B of codes; even with ids,
+    // locators, centroids, and codebooks amortized the index must
+    // shrink by a wide margin (the 1M x 512 bench pins >= 8x).
+    const double ratio = static_cast<double>(flat.memoryBytes()) /
+        static_cast<double>(pq.memoryBytes());
+    EXPECT_GE(ratio, 4.0) << flat.memoryBytes() << " vs "
+                          << pq.memoryBytes();
+    // Accounting follows removals down.
+    const std::size_t before = pq.memoryBytes();
+    for (std::uint64_t id = 0; id < kRows / 2; ++id)
+        ASSERT_TRUE(pq.remove(id));
+    EXPECT_LT(pq.memoryBytes(), before);
+}
+
+TEST(VectorIndexMemory, FlatAndIvfAccountExactly)
+{
+    FlatIndex flat(kEmbeddingDim);
+    EXPECT_EQ(flat.memoryBytes(), std::size_t{0});
+    Rng rng(1);
+    flat.insert(1, Embedding(randomUnitVec(kEmbeddingDim, rng)));
+    // One row + one id + one locator entry, nothing else.
+    const std::size_t perEntry = kEmbeddingDim * sizeof(float) +
+        sizeof(std::uint64_t) +
+        locatorBytes(1, sizeof(std::size_t));
+    EXPECT_EQ(flat.memoryBytes(), perEntry);
+    flat.insert(2, Embedding(randomUnitVec(kEmbeddingDim, rng)));
+    EXPECT_EQ(flat.memoryBytes(), 2 * perEntry);
+    flat.remove(1);
+    EXPECT_EQ(flat.memoryBytes(), perEntry);
+
+    RetrievalBackendConfig ivfConfig;
+    ivfConfig.kind = RetrievalBackend::Ivf;
+    IvfIndex ivf(ivfConfig);
+    const auto centers = makeCenters(8, 3);
+    for (std::uint64_t id = 0; id < 1000; ++id)
+        ivf.insert(id, clusteredEmbedding(centers, rng));
+    ASSERT_TRUE(ivf.trained());
+    // Rows + ids + locator + nlist centroids, byte for byte.
+    const std::size_t expected = 1000 *
+            (kEmbeddingDim * sizeof(float) + sizeof(std::uint64_t)) +
+        ivf.nlist() * kEmbeddingDim * sizeof(float) +
+        locatorBytes(1000, 2 * sizeof(std::size_t));
+    EXPECT_EQ(ivf.memoryBytes(), expected);
+}
+
 TEST(VectorIndexFactory, BuildsConfiguredBackend)
 {
     RetrievalBackendConfig flat;
@@ -436,6 +799,104 @@ TEST(VectorIndexFactory, BuildsConfiguredBackend)
     auto i = makeVectorIndex(ivf, kEmbeddingDim);
     EXPECT_NE(dynamic_cast<IvfIndex *>(i.get()), nullptr);
     EXPECT_STREQ(retrievalBackendName(ivf.kind), "IVF");
+
+    RetrievalBackendConfig hnsw;
+    hnsw.kind = RetrievalBackend::Hnsw;
+    auto h = makeVectorIndex(hnsw, kEmbeddingDim);
+    EXPECT_NE(dynamic_cast<HnswIndex *>(h.get()), nullptr);
+    EXPECT_STREQ(retrievalBackendName(hnsw.kind), "HNSW");
+
+    RetrievalBackendConfig pq;
+    pq.kind = RetrievalBackend::IvfPq;
+    auto p = makeVectorIndex(pq, kEmbeddingDim);
+    EXPECT_NE(dynamic_cast<IvfPqIndex *>(p.get()), nullptr);
+    EXPECT_STREQ(retrievalBackendName(pq.kind), "IVF-PQ");
+}
+
+/** The thrown diagnostic for a malformed config, or "" when valid. */
+std::string
+factoryError(const RetrievalBackendConfig &config,
+             std::size_t dim = kEmbeddingDim)
+{
+    try {
+        makeVectorIndex(config, dim);
+        return "";
+    } catch (const std::invalid_argument &e) {
+        return e.what();
+    }
+}
+
+/** The diagnostic must mention the knob and its offending value. */
+void expectErrorContains(const std::string &error,
+                         const std::string &needle)
+{
+    EXPECT_NE(error.find(needle), std::string::npos)
+        << "diagnostic \"" << error << "\" lacks \"" << needle << "\"";
+}
+
+TEST(VectorIndexFactory, RejectsMalformedConfigsWithNamedKnobs)
+{
+    RetrievalBackendConfig nprobe;
+    nprobe.kind = RetrievalBackend::Ivf;
+    nprobe.nprobe = 128;
+    nprobe.nlist = 64;
+    expectErrorContains(factoryError(nprobe),
+                        "nprobe (128) must be <= nlist (64)");
+    nprobe.nprobe = 0;
+    expectErrorContains(factoryError(nprobe),
+                        "nprobe (0) must be >= 1");
+
+    RetrievalBackendConfig m;
+    m.kind = RetrievalBackend::Hnsw;
+    m.hnswM = 1;
+    expectErrorContains(factoryError(m), "hnswM (1) must be >= 2");
+    m.hnswM = 16;
+    m.efConstruction = 4;
+    expectErrorContains(factoryError(m),
+                        "efConstruction (4) must be >= hnswM (16)");
+    m.efConstruction = 128;
+    m.efSearch = 0;
+    expectErrorContains(factoryError(m), "efSearch (0) must be >= 1");
+    m.efSearch = 64;
+    m.adaptiveEfSearch = true;
+    m.minEfSearch = 100;
+    expectErrorContains(factoryError(m), "minEfSearch (100)");
+
+    RetrievalBackendConfig pq;
+    pq.kind = RetrievalBackend::IvfPq;
+    pq.pqM = 5;
+    expectErrorContains(
+        factoryError(pq),
+        "pqM (5) must divide the embedding dimension (64)");
+    pq.pqM = 8;
+    pq.pqBits = 3;
+    expectErrorContains(factoryError(pq), "pqBits (3) must be 4 or 8");
+    pq.pqBits = 8;
+    pq.nlist = 0;
+    expectErrorContains(factoryError(pq), "nlist (0) must be >= 1");
+
+    // Valid configs return no diagnostic.
+    EXPECT_EQ(factoryError(RetrievalBackendConfig{}), "");
+    EXPECT_EQ(validateRetrievalConfig(RetrievalBackendConfig{},
+                                      kEmbeddingDim),
+              "");
+}
+
+TEST(VectorIndexFactoryDeathTest, DirectConstructionAssertsAsBackstop)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    RetrievalBackendConfig bad;
+    bad.kind = RetrievalBackend::Ivf;
+    bad.nprobe = 0;
+    EXPECT_DEATH((IvfIndex(bad, kEmbeddingDim)), "nprobe");
+    RetrievalBackendConfig badM;
+    badM.kind = RetrievalBackend::Hnsw;
+    badM.hnswM = 1;
+    EXPECT_DEATH((HnswIndex(badM, kEmbeddingDim)), "M");
+    RetrievalBackendConfig badPq;
+    badPq.kind = RetrievalBackend::IvfPq;
+    badPq.pqM = 5;
+    EXPECT_DEATH((IvfPqIndex(badPq, kEmbeddingDim)), "pqM");
 }
 
 } // namespace

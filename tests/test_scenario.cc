@@ -454,6 +454,175 @@ TEST(ScenarioKnobsDeath, ReplicasKnobValidatesAgainstTopology)
     EXPECT_DEATH(serving::ServingSystem{config}, "[Rr]eplica");
 }
 
+TEST(ScenarioRetrieval, CompoundValueRoundTripsCanonically)
+{
+    // Header sugar `retrieval hnsw ef=64` canonicalizes to the comma
+    // form, which reparses to the same scenario (fixpoint).
+    const auto scenario = parseOk("scenario r\n"
+                                  "requests 10\n"
+                                  "retrieval hnsw ef=64\n");
+    EXPECT_EQ(scenario.params.retrieval, ScenarioRetrieval::Hnsw);
+    EXPECT_EQ(scenario.params.retrievalEf, 64u);
+    EXPECT_EQ(scenario.params.retrievalNprobe, 0u);
+    const auto canonical = canonicalScenario(scenario);
+    EXPECT_NE(canonical.find("retrieval hnsw,ef=64\n"),
+              std::string::npos)
+        << canonical;
+    EXPECT_EQ(canonicalScenario(parseOk(canonical)), canonical);
+
+    // Cell override in the comma form; selecting a backend resets the
+    // header's knobs, so `retrieval=flat` drops the inherited ef.
+    const auto cells = parseOk("scenario r\n"
+                               "requests 10\n"
+                               "retrieval hnsw,ef=32\n"
+                               "\n"
+                               "cell \"pq\" retrieval=ivf-pq,nprobe=16\n"
+                               "cell \"exact\" retrieval=flat\n");
+    EXPECT_EQ(cells.cell(0).params.retrieval, ScenarioRetrieval::IvfPq);
+    EXPECT_EQ(cells.cell(0).params.retrievalNprobe, 16u);
+    EXPECT_EQ(cells.cell(0).params.retrievalEf, 0u);
+    EXPECT_EQ(cells.cell(1).params.retrieval, ScenarioRetrieval::Flat);
+    EXPECT_EQ(cells.cell(1).params.retrievalEf, 0u);
+    const auto cellCanonical = canonicalScenario(cells);
+    EXPECT_NE(cellCanonical.find("retrieval=ivf-pq,nprobe=16"),
+              std::string::npos)
+        << cellCanonical;
+    EXPECT_EQ(canonicalScenario(parseOk(cellCanonical)), cellCanonical);
+
+    // Knobs change the digest; the bare backend token does not gain a
+    // suffix (pre-knob scenarios keep their digests, pinned above by
+    // PortedFigureDigestsArePinned).
+    const auto bare = parseOk("scenario r\nrequests 10\n"
+                              "retrieval hnsw\n");
+    EXPECT_NE(scenarioDigest(bare), scenarioDigest(scenario));
+    EXPECT_NE(canonicalScenario(bare).find("retrieval hnsw\n"),
+              std::string::npos);
+}
+
+TEST(ScenarioRetrieval, RejectsMalformedCompoundValues)
+{
+    Scenario out;
+    EXPECT_NE(parseText("scenario s\nrequests 10\n"
+                        "retrieval annoy\n",
+                        out)
+                  .find("unknown retrieval backend 'annoy'"),
+              std::string::npos);
+    EXPECT_NE(parseText("scenario s\nrequests 10\n"
+                        "retrieval ivf,ef=8\n",
+                        out)
+                  .find("ef requires the hnsw backend"),
+              std::string::npos);
+    EXPECT_NE(parseText("scenario s\nrequests 10\n"
+                        "retrieval hnsw,nprobe=8\n",
+                        out)
+                  .find("nprobe requires an ivf backend"),
+              std::string::npos);
+    EXPECT_NE(parseText("scenario s\nrequests 10\n"
+                        "retrieval hnsw,ef=0\n",
+                        out)
+                  .find("n >= 1"),
+              std::string::npos);
+    EXPECT_NE(parseText("scenario s\nrequests 10\n"
+                        "retrieval hnsw,beamwidth=9\n",
+                        out)
+                  .find("unknown retrieval knob 'beamwidth'"),
+              std::string::npos);
+    const auto cellErr = parseText("scenario s\nrequests 10\n"
+                                   "\ncell \"c\" retrieval=ivf-pq,ef=4\n",
+                                   out);
+    EXPECT_NE(cellErr.find("test.scn:4:"), std::string::npos) << cellErr;
+    EXPECT_NE(cellErr.find("ef requires the hnsw backend"),
+              std::string::npos)
+        << cellErr;
+}
+
+TEST(ScenarioRetrieval, EfAndNprobeKnobOpsParseAndValidate)
+{
+    const auto scenario = parseOk("scenario k\n"
+                                  "requests 10\nrate 5\n"
+                                  "retrieval hnsw\n"
+                                  "\n"
+                                  "at 10 set ef 32\n");
+    ASSERT_EQ(scenario.ops.size(), 1u);
+    EXPECT_EQ(scenario.ops[0].knob, ScenarioKnob::Ef);
+    EXPECT_EQ(scenario.ops[0].knobValue, 32.0);
+    EXPECT_EQ(scenarioOpLines(scenario)[0], "at 10 set ef 32");
+    const auto canonical = canonicalScenario(scenario);
+    EXPECT_EQ(canonicalScenario(parseOk(canonical)), canonical);
+
+    const auto pq = parseOk("scenario k\nrequests 10\nrate 5\n"
+                            "retrieval ivf-pq\n"
+                            "\nat 10 set nprobe 16\n");
+    EXPECT_EQ(pq.ops[0].knob, ScenarioKnob::Nprobe);
+    EXPECT_EQ(scenarioOpLines(pq)[0], "at 10 set nprobe 16");
+
+    // Backend/knob mismatches surface as file:line diagnostics.
+    Scenario out;
+    const auto efErr = parseText("scenario s\nrequests 10\nrate 5\n"
+                                 "at 10 set ef 32\n",
+                                 out);
+    EXPECT_NE(efErr.find("test.scn:4:"), std::string::npos) << efErr;
+    EXPECT_NE(efErr.find("ef knob requires retrieval hnsw"),
+              std::string::npos)
+        << efErr;
+    const auto npErr = parseText("scenario s\nrequests 10\nrate 5\n"
+                                 "retrieval hnsw\n"
+                                 "at 10 set nprobe 4\n",
+                                 out);
+    EXPECT_NE(npErr.find("nprobe knob requires an ivf"),
+              std::string::npos)
+        << npErr;
+    // A single offending cell poisons the whole timeline.
+    const auto cellErr = parseText("scenario s\nrequests 10\nrate 5\n"
+                                   "retrieval hnsw\n"
+                                   "at 10 set ef 32\n"
+                                   "\ncell \"a\"\n"
+                                   "cell \"b\" retrieval=flat\n",
+                                   out);
+    EXPECT_NE(cellErr.find("cell \"b\""), std::string::npos) << cellErr;
+}
+
+TEST(ScenarioRetrieval, CellRunsApproximateBackendsWithKnobs)
+{
+    // End-to-end lowering: the scenario's retrieval selection and ef
+    // knob reach the serving run (backend tag + nonzero memory bytes
+    // in the result), and a mid-run `set ef` changes the outcome of
+    // an approximate-backend run deterministically.
+    const char kBase[] = "scenario hnswrun\n"
+                         "warm 200\n"
+                         "requests 120\n"
+                         "rate 30\n"
+                         "cache 400\n"
+                         "retrieval hnsw,ef=48\n";
+    const auto scenario = parseOk(kBase);
+    const auto result =
+        serving::runScenarioCell(scenario, scenario.cell(0));
+    EXPECT_EQ(result.retrievalBackend,
+              embedding::RetrievalBackend::Hnsw);
+    EXPECT_GT(result.retrievalMemoryBytes, 0u);
+
+    const auto knobbed =
+        parseOk(std::string(kBase) + "\nat 1 set ef 4\n");
+    const auto knobbedResult =
+        serving::runScenarioCell(knobbed, knobbed.cell(0));
+    // ef=4 degrades retrieval vs ef=48; the digests must differ and
+    // the degraded run cannot have better recall.
+    EXPECT_NE(serving::resultDigest(result),
+              serving::resultDigest(knobbedResult));
+    EXPECT_LE(knobbedResult.retrievalRecallAt1,
+              result.retrievalRecallAt1 + 1e-12);
+
+    const auto pq = parseOk("scenario pqrun\n"
+                            "warm 200\n"
+                            "requests 80\n"
+                            "cache 400\n"
+                            "retrieval ivf-pq,nprobe=4\n");
+    const auto pqResult = serving::runScenarioCell(pq, pq.cell(0));
+    EXPECT_EQ(pqResult.retrievalBackend,
+              embedding::RetrievalBackend::IvfPq);
+    EXPECT_GT(pqResult.retrievalMemoryBytes, 0u);
+}
+
 TEST(ScenarioSweep, CellsAreDeterministicAcrossParallelism)
 {
     const auto scenario = parseOk(kSteadyText);
