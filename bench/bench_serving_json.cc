@@ -15,9 +15,13 @@
  * `recovery_time_s` resilience fields. Schema 3 added the memory
  * axis: per-cell `retrieval_backend` / `retrieval_bytes_per_entry`,
  * plus HNSW and IVF-PQ rows (with `bytes_per_entry`) in the
- * retrieval microbench. Serving metrics are virtual-time and
- * bit-deterministic; the us/query retrieval column is wall time and
- * is the only machine-dependent number in the file.
+ * retrieval microbench. Schema 4 added kernel provenance: a top-level
+ * `kernel` object (active dot-kernel dispatch tier + whether
+ * MODM_KERNEL forced it) and a per-cell `kernel` field. Serving
+ * metrics are virtual-time and bit-deterministic across kernel tiers
+ * (kernels.hh pins the summation order); the us/query retrieval
+ * column is wall time and is the only machine-dependent number in
+ * the file.
  *
  * Usage: bench_serving_json [output-path]   (default BENCH_serving.json)
  */
@@ -28,13 +32,14 @@
 #include <vector>
 
 #include "bench/sweep.hh"
+#include "src/common/kernels.hh"
 #include "src/embedding/vector_index.hh"
 
 using namespace modm;
 
 namespace {
 
-constexpr int kSchema = 3;
+constexpr int kSchema = 4;
 constexpr std::size_t kWarm = 800;
 constexpr std::size_t kRequests = 2000;
 constexpr double kRatePerMin = 12.0;
@@ -191,6 +196,10 @@ main(int argc, char **argv)
         return 1;
     }
     std::fprintf(out, "{\n  \"schema\": %d,\n", kSchema);
+    const kernels::KernelInfo kernel = kernels::active();
+    std::fprintf(out,
+                 "  \"kernel\": {\"name\": \"%s\", \"forced\": %s},\n",
+                 kernel.name, kernel.fromEnv ? "true" : "false");
     std::fprintf(out,
                  "  \"sweep\": {\"dataset\": \"DiffusionDB\", "
                  "\"warm\": %zu, \"requests\": %zu},\n",
@@ -207,7 +216,8 @@ main(int argc, char **argv)
             "\"load_imbalance\": %s, \"num_nodes\": %zu, "
             "\"rerouted_requests\": %llu, \"recovery_time_s\": %s, "
             "\"retrieval_backend\": \"%s\", "
-            "\"retrieval_bytes_per_entry\": %s}%s\n",
+            "\"retrieval_bytes_per_entry\": %s, "
+            "\"kernel\": \"%s\"}%s\n",
             spec.cells[i].label.c_str(), num(cellRates[i]).c_str(),
             num(r.throughputPerMin).c_str(), num(r.hitRate).c_str(),
             num(r.metrics.latencyPercentile(50.0)).c_str(),
@@ -225,7 +235,7 @@ main(int argc, char **argv)
                           static_cast<double>(r.cacheSize)
                     : 0.0)
                 .c_str(),
-            i + 1 < spec.cells.size() ? "," : "");
+            r.kernel.c_str(), i + 1 < spec.cells.size() ? "," : "");
     }
     std::fprintf(out, "  ],\n");
     std::fprintf(out, "  \"retrieval\": [\n");

@@ -10,10 +10,19 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
 
 #include "src/cache/image_cache.hh"
+#include "src/common/kernels.hh"
+#include "src/common/log.hh"
 #include "src/common/rng.hh"
+#include "src/common/row_store.hh"
 #include "src/common/thread_pool.hh"
 #include "src/diffusion/sampler.hh"
 #include "src/embedding/encoder.hh"
@@ -467,6 +476,91 @@ BM_DotUnrolled(benchmark::State &state)
 }
 BENCHMARK(BM_DotUnrolled)->Arg(64)->Arg(512);
 
+/**
+ * The dispatched batch kernels the index scans actually call
+ * (kernels.hh), streamed over an aligned slab at the production 512-dim
+ * width. These are memory-bandwidth-bound at the 1M scale, so bytes/s
+ * (reported via SetBytesProcessed) is the number to compare against the
+ * machine's DRAM bandwidth. Arg is the row count; the 1M cells allocate
+ * a ~2 GB slab, so CI's smoke filter runs only the 100k cells.
+ */
+AlignedRows
+makeBatchSlab(std::size_t rows)
+{
+    const auto centers = clusterCenters(kBigDim, 128, 3);
+    Rng rng(7);
+    AlignedRows slab(kBigDim);
+    slab.reserve(rows);
+    for (std::size_t i = 0; i < rows; ++i)
+        slab.pushBack(clusteredRow(centers, rng).vec().data());
+    return slab;
+}
+
+// Separate per-size singletons (not one keyed function) so a filtered
+// run touching only the 100k cells never pays the 1M build.
+const AlignedRows &
+batchSlab100k()
+{
+    static const AlignedRows slab = makeBatchSlab(kBigEntries);
+    return slab;
+}
+
+const AlignedRows &
+batchSlab1M()
+{
+    static const AlignedRows slab = makeBatchSlab(kHugeEntries);
+    return slab;
+}
+
+const AlignedRows &
+batchSlab(std::size_t rows)
+{
+    return rows == kHugeEntries ? batchSlab1M() : batchSlab100k();
+}
+
+void
+BM_DotBatch(benchmark::State &state)
+{
+    const std::size_t rows = static_cast<std::size_t>(state.range(0));
+    const auto &slab = batchSlab(rows);
+    Rng rng(11);
+    const Vec query = randomUnitVec(kBigDim, rng);
+    std::vector<double> scores(rows);
+    for (auto _ : state) {
+        kernels::dotBatch(query.data(), slab.data(), slab.stride(),
+                          rows, kBigDim, scores.data());
+        benchmark::DoNotOptimize(scores.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(state.iterations() * rows);
+    state.SetBytesProcessed(state.iterations() * rows * kBigDim *
+                            sizeof(float));
+}
+BENCHMARK(BM_DotBatch)
+    ->Arg(kBigEntries)
+    ->Arg(kHugeEntries)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_TopKBatch(benchmark::State &state)
+{
+    const std::size_t rows = static_cast<std::size_t>(state.range(0));
+    const auto &slab = batchSlab(rows);
+    Rng rng(11);
+    const Vec query = randomUnitVec(kBigDim, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            kernels::topKBatch(query.data(), slab.data(), slab.stride(),
+                               rows, kBigDim, 10));
+    state.SetItemsProcessed(state.iterations() * rows);
+    state.SetBytesProcessed(state.iterations() * rows * kBigDim *
+                            sizeof(float));
+}
+BENCHMARK(BM_TopKBatch)
+    ->Arg(kBigEntries)
+    ->Arg(kHugeEntries)
+    ->Unit(benchmark::kMillisecond);
+
 void
 BM_TextEncode(benchmark::State &state)
 {
@@ -615,6 +709,97 @@ BM_ThreadPoolNestedParallelFor(benchmark::State &state)
 }
 BENCHMARK(BM_ThreadPoolNestedParallelFor);
 
+/**
+ * Acceptance gate for the kernel overhaul, run after the benchmarks
+ * when MODM_SCALE_ASSERT=1 (the scale pass; filtered smoke runs skip
+ * it): the dispatched batch kernel must beat a per-row modm::dot loop
+ * by >= 2x on the serial 1M x 512 flat scan, AND agree with it bit for
+ * bit (same argmax slot, same double score — the kernels.hh summation
+ * contract). Skipped with a notice when the active tier is below avx2:
+ * the bar measures dispatch headroom over the old inner loop, which a
+ * forced MODM_KERNEL=scalar/unrolled run deliberately gives up.
+ */
+int
+runScaleAssert()
+{
+    const char *env = std::getenv("MODM_SCALE_ASSERT");
+    if (env == nullptr || std::strcmp(env, "1") != 0)
+        return 0;
+    const kernels::KernelInfo kernel = kernels::active();
+    if (static_cast<int>(kernel.tier) <
+        static_cast<int>(kernels::Tier::Avx2)) {
+        std::fprintf(stderr,
+                     "MODM_SCALE_ASSERT: active kernel \"%s\" is below "
+                     "avx2; skipping the >=2x scan assert\n",
+                     kernel.name);
+        return 0;
+    }
+
+    const auto &slab = batchSlab(kHugeEntries);
+    Rng rng(11);
+    const Vec query = randomUnitVec(kBigDim, rng);
+    using Best = std::pair<std::size_t, double>;
+    const auto baseline = [&] {
+        std::size_t slot = 0;
+        double best = -1e300;
+        for (std::size_t r = 0; r < kHugeEntries; ++r) {
+            const double s = dot(query.data(), slab.row(r), kBigDim);
+            if (s > best) {
+                best = s;
+                slot = r;
+            }
+        }
+        return Best{slot, best};
+    };
+    const auto batched = [&] {
+        std::size_t slot = 0;
+        double score = 0.0;
+        kernels::bestBatch(query.data(), slab.data(), slab.stride(),
+                           kHugeEntries, kBigDim, &slot, &score);
+        return Best{slot, score};
+    };
+    // Best-of-3 per side: scans are long enough (hundreds of ms) that
+    // the minimum is a stable bandwidth measurement, not a lucky run.
+    const auto timeBest = [](const auto &fn, Best &result) {
+        double best = 1e300;
+        for (int rep = 0; rep < 3; ++rep) {
+            const auto start = std::chrono::steady_clock::now();
+            result = fn();
+            best = std::min(
+                best,
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count());
+        }
+        return best;
+    };
+    Best base, fast;
+    const double baseS = timeBest(baseline, base);
+    const double fastS = timeBest(batched, fast);
+    MODM_ASSERT(base.first == fast.first && base.second == fast.second,
+                "kernel scan disagrees with the modm::dot baseline: "
+                "slot %zu score %.17g vs slot %zu score %.17g",
+                base.first, base.second, fast.first, fast.second);
+    const double speedup = baseS / fastS;
+    std::fprintf(stderr,
+                 "MODM_SCALE_ASSERT: 1M x 512 serial scan: modm::dot "
+                 "%.1f ms, %s kernel %.1f ms (%.2fx)\n",
+                 baseS * 1e3, kernel.name, fastS * 1e3, speedup);
+    MODM_ASSERT(speedup >= 2.0,
+                "kernel scan speedup %.2fx is below the 2x acceptance "
+                "bar (modm::dot %.1f ms vs %s %.1f ms)",
+                speedup, baseS * 1e3, kernel.name, fastS * 1e3);
+    return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    return runScaleAssert();
+}

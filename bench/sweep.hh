@@ -14,10 +14,22 @@
  * keeps stdout byte-identical across parallelism levels (per-cell
  * progress goes to stderr).
  *
+ * Cells can also persist across runs: sweep_cache.hh (included here)
+ * gives binaries a content-addressed per-cell result cache keyed by a
+ * semantic config digest plus a code-version salt, so re-running an
+ * unchanged figure binary replays its cells instead of recomputing
+ * them (see ablation_retrieval_backend for the wiring pattern).
+ *
  * Environment knobs (so CI can pin determinism without rebuilding):
  *   MODM_SWEEP_PARALLELISM  0 = match the pool (default), 1 = serial,
  *                           N = at most N cells in flight.
  *   MODM_SWEEP_PROGRESS     0 silences the stderr progress lines.
+ *   MODM_SWEEP_CACHE        1 enables the persistent cell cache
+ *                           (default off: determinism CI must
+ *                           recompute, not replay).
+ *   MODM_SWEEP_CACHE_DIR    cache directory (build/sweep-cache).
+ *   MODM_SWEEP_CACHE_SALT   overrides the code-version salt (defaults
+ *                           to a hash of the running binary).
  */
 
 #ifndef MODM_BENCH_SWEEP_HH
@@ -34,6 +46,7 @@
 #include <vector>
 
 #include "bench/harness.hh"
+#include "bench/sweep_cache.hh"
 #include "src/common/log.hh"
 #include "src/common/thread_pool.hh"
 

@@ -25,7 +25,7 @@ ImageCache::ImageCache(std::size_t capacity, EvictionPolicy policy,
                        std::uint64_t seed,
                        embedding::RetrievalBackendConfig retrieval)
     : capacity_(capacity), policy_(policy), encoder_(encoder_config),
-      retrieval_(retrieval), rng_(seed),
+      retrieval_(retrieval), rng_(seed), rows_(encoder_config.dim),
       index_(embedding::makeVectorIndex(retrieval, encoder_config.dim))
 {
     MODM_ASSERT(capacity_ > 0, "cache capacity must be positive");
@@ -52,14 +52,15 @@ ImageCache::insert(const diffusion::Image &image, double now)
     while (entries_.size() >= capacity_)
         evictOne();
 
+    const embedding::Embedding emb =
+        encoder_.encode(image.content, image.fidelity, image.id);
     CacheEntry entry;
     entry.image = image;
-    entry.imageEmbedding =
-        encoder_.encode(image.content, image.fidelity, image.id);
+    entry.embeddingSlot = rows_.insert(emb.vec().data());
     entry.insertTime = now;
     entry.lastHitTime = now;
 
-    index_->insert(image.id, entry.imageEmbedding);
+    index_->insert(image.id, emb);
     fifo_.push_back(image.id);
     lruOrder_.push_back(image.id);
     lruPos_[image.id] = std::prev(lruOrder_.end());
@@ -201,7 +202,10 @@ ImageCache::erase(std::uint64_t id)
     const auto it = entries_.find(id);
     MODM_ASSERT(it != entries_.end(), "erase of absent entry");
     storedBytes_ -= it->second.image.byteSize;
+    // Remove from the index before releasing the slab slot: the index
+    // may still read this id's row through the RowSource mid-removal.
     index_->remove(id);
+    rows_.release(it->second.embeddingSlot);
     const auto pos = lruPos_.find(id);
     if (pos != lruPos_.end()) {
         lruOrder_.erase(pos->second);
@@ -249,6 +253,7 @@ void
 ImageCache::clear()
 {
     entries_.clear();
+    rows_.clear();
     index_->clear();
     fifo_.clear();
     lruOrder_.clear();

@@ -29,6 +29,7 @@
 #include <memory>
 
 #include "src/common/rng.hh"
+#include "src/common/row_store.hh"
 #include "src/diffusion/image.hh"
 #include "src/embedding/encoder.hh"
 #include "src/embedding/vector_index.hh"
@@ -50,7 +51,8 @@ const char *policyName(EvictionPolicy policy);
 struct CacheEntry
 {
     diffusion::Image image;
-    embedding::Embedding imageEmbedding;
+    /** Slot of the CLIP image embedding in the cache's row slab. */
+    RowStore::Slot embeddingSlot = 0;
     double insertTime = 0.0;
     double lastHitTime = 0.0;
     std::uint64_t hits = 0;
@@ -205,14 +207,23 @@ class ImageCache : public embedding::RowSource
         return index_->memoryBytes();
     }
 
-    /** Exact-row oracle over cached entries (RowSource). */
+    /**
+     * Exact-row oracle over cached entries (RowSource): returns the
+     * slab row in place — quantized backends re-rank against it with
+     * zero copies (rowAccesses() counts the handed-out pointers so
+     * tests can pin the zero-copy path).
+     */
     const float *row(std::uint64_t id) const override
     {
         const auto it = entries_.find(id);
-        return it == entries_.end()
-            ? nullptr
-            : it->second.imageEmbedding.vec().data();
+        if (it == entries_.end())
+            return nullptr;
+        ++rowAccesses_;
+        return rows_.row(it->second.embeddingSlot);
     }
+
+    /** Slab-row pointers handed out through the RowSource. */
+    std::uint64_t rowAccesses() const { return rowAccesses_; }
 
     /** The retrieval backend (exposed for tests and benchmarks). */
     const embedding::VectorIndex &index() const { return *index_; }
@@ -247,6 +258,10 @@ class ImageCache : public embedding::RowSource
     mutable Rng rng_;
 
     std::unordered_map<std::uint64_t, CacheEntry> entries_;
+    /** Embedding rows, slot-addressed from CacheEntry (stable slab
+     *  pointers, freelist reuse on eviction). */
+    RowStore rows_;
+    mutable std::uint64_t rowAccesses_ = 0;
     std::unique_ptr<embedding::VectorIndex> index_;
     std::deque<std::uint64_t> fifo_;          // FIFO order
     std::list<std::uint64_t> lruOrder_;       // front = least recent

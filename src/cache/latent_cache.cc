@@ -11,7 +11,7 @@ LatentCache::LatentCache(std::size_t capacity, std::string model_name,
                          embedding::RetrievalBackendConfig retrieval)
     : capacity_(capacity), modelName_(std::move(model_name)),
       thresholds_(std::move(thresholds)), retrieval_(retrieval),
-      rng_(seed),
+      rng_(seed), rows_(embedding::kEmbeddingDim),
       index_(embedding::makeVectorIndex(retrieval,
                                         embedding::kEmbeddingDim))
 {
@@ -51,11 +51,11 @@ LatentCache::insert(const diffusion::Image &image,
 
     LatentEntry entry;
     entry.image = image;
-    entry.textEmbedding = text_embedding;
+    entry.embeddingSlot = rows_.insert(text_embedding.vec().data());
     entry.modelName = image.modelName;
     entry.insertTime = now;
 
-    index_->insert(image.id, entry.textEmbedding);
+    index_->insert(image.id, text_embedding);
     order_.push_back(image.id);
     storedBytes_ += kLatentSetBytes;
     entries_.emplace(image.id, std::move(entry));
@@ -147,7 +147,10 @@ LatentCache::evictOne()
     }
     const auto it = entries_.find(victim);
     MODM_ASSERT(it != entries_.end(), "latent victim vanished");
+    // Remove from the index before releasing the slab slot: the index
+    // may still read this id's row through the RowSource mid-removal.
     index_->remove(victim);
+    rows_.release(it->second.embeddingSlot);
     storedBytes_ -= kLatentSetBytes;
     entries_.erase(it);
     if (!order_.empty() && order_.front() == victim)
@@ -181,6 +184,7 @@ void
 LatentCache::clear()
 {
     entries_.clear();
+    rows_.clear();
     index_->clear();
     order_.clear();
     staleOrder_ = 0;

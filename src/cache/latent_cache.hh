@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "src/common/rng.hh"
+#include "src/common/row_store.hh"
 #include "src/diffusion/image.hh"
 #include "src/embedding/encoder.hh"
 #include "src/embedding/vector_index.hh"
@@ -58,8 +59,9 @@ struct LatentEntry
 {
     /** Final image of the generation whose latents are cached. */
     diffusion::Image image;
-    /** Text embedding of the producing prompt (retrieval key). */
-    embedding::Embedding textEmbedding;
+    /** Slot of the prompt's text embedding (the retrieval key) in the
+     *  cache's row slab. */
+    RowStore::Slot embeddingSlot = 0;
     /** Producing model; latents are unusable by other models. */
     std::string modelName;
     double insertTime = 0.0;
@@ -191,14 +193,21 @@ class LatentCache : public embedding::RowSource
         return index_->memoryBytes();
     }
 
-    /** Exact-row oracle over cached entries (RowSource). */
+    /**
+     * Exact-row oracle over cached entries (RowSource): returns the
+     * slab row in place (zero-copy; see ImageCache::row).
+     */
     const float *row(std::uint64_t id) const override
     {
         const auto it = entries_.find(id);
-        return it == entries_.end()
-            ? nullptr
-            : it->second.textEmbedding.vec().data();
+        if (it == entries_.end())
+            return nullptr;
+        ++rowAccesses_;
+        return rows_.row(it->second.embeddingSlot);
     }
+
+    /** Slab-row pointers handed out through the RowSource. */
+    std::uint64_t rowAccesses() const { return rowAccesses_; }
 
     /** Lookups compared against an exhaustive scan (recall@1). */
     std::uint64_t recallChecked() const { return recallChecked_; }
@@ -224,6 +233,10 @@ class LatentCache : public embedding::RowSource
     mutable Rng rng_;
 
     std::unordered_map<std::uint64_t, LatentEntry> entries_;
+    /** Embedding rows, slot-addressed from LatentEntry (stable slab
+     *  pointers, freelist reuse on eviction). */
+    RowStore rows_;
+    mutable std::uint64_t rowAccesses_ = 0;
     std::unique_ptr<embedding::VectorIndex> index_;
     std::deque<std::uint64_t> order_;
     std::size_t staleOrder_ = 0; // order_ ids no longer in entries_

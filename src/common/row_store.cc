@@ -1,0 +1,131 @@
+#include "src/common/row_store.hh"
+
+#include <cstring>
+
+#include "src/common/log.hh"
+
+namespace modm {
+
+namespace {
+
+float *
+allocAligned(std::size_t floats)
+{
+    return static_cast<float *>(
+        ::operator new[](floats * sizeof(float), std::align_val_t{64}));
+}
+
+} // namespace
+
+// ----------------------------------------------------------- AlignedRows
+
+void
+AlignedRows::reset(std::size_t dim)
+{
+    MODM_ASSERT(dim > 0, "AlignedRows needs a positive dim");
+    dim_ = dim;
+    stride_ = alignedRowStride(dim);
+    size_ = 0;
+    capacity_ = 0;
+    data_.reset();
+}
+
+void
+AlignedRows::grow(std::size_t rows)
+{
+    std::size_t cap = capacity_ ? capacity_ : 16;
+    while (cap < rows)
+        cap *= 2;
+    std::unique_ptr<float[], Free> fresh(allocAligned(cap * stride_));
+    if (size_ > 0) {
+        std::memcpy(fresh.get(), data_.get(),
+                    size_ * stride_ * sizeof(float));
+    }
+    data_ = std::move(fresh);
+    capacity_ = cap;
+}
+
+void
+AlignedRows::reserve(std::size_t rows)
+{
+    if (rows > capacity_)
+        grow(rows);
+}
+
+std::size_t
+AlignedRows::pushBack(const float *src)
+{
+    MODM_ASSERT(dim_ > 0, "AlignedRows::reset before pushBack");
+    if (size_ == capacity_)
+        grow(size_ + 1);
+    float *dst = data_.get() + size_ * stride_;
+    std::memcpy(dst, src, dim_ * sizeof(float));
+    // Zero the pad once so the buffer never holds indeterminate bytes
+    // (the kernels score exactly dim elements and skip the pad).
+    for (std::size_t i = dim_; i < stride_; ++i)
+        dst[i] = 0.0f;
+    return size_++;
+}
+
+void
+AlignedRows::swapRemove(std::size_t slot)
+{
+    MODM_ASSERT(slot < size_, "AlignedRows::swapRemove out of range");
+    const std::size_t last = size_ - 1;
+    if (slot != last) {
+        std::memcpy(data_.get() + slot * stride_,
+                    data_.get() + last * stride_,
+                    stride_ * sizeof(float));
+    }
+    size_ = last;
+}
+
+// ------------------------------------------------------------- RowStore
+
+RowStore::RowStore(std::size_t dim, std::size_t rowsPerChunk)
+    : dim_(dim), stride_(alignedRowStride(dim)),
+      rowsPerChunk_(rowsPerChunk)
+{
+    MODM_ASSERT(dim > 0, "RowStore needs a positive dim");
+    MODM_ASSERT(rowsPerChunk > 0, "RowStore needs rows per chunk");
+}
+
+RowStore::Slot
+RowStore::insert(const float *src)
+{
+    Slot slot;
+    if (!freelist_.empty()) {
+        slot = freelist_.back();
+        freelist_.pop_back();
+    } else {
+        slot = static_cast<Slot>(next_++);
+        if (slot / rowsPerChunk_ == chunks_.size())
+            chunks_.emplace_back(allocAligned(rowsPerChunk_ * stride_));
+    }
+    float *dst = row(slot);
+    std::memcpy(dst, src, dim_ * sizeof(float));
+    for (std::size_t i = dim_; i < stride_; ++i)
+        dst[i] = 0.0f;
+    ++live_;
+    return slot;
+}
+
+void
+RowStore::release(Slot slot)
+{
+    MODM_ASSERT(slot < next_, "RowStore::release of unknown slot");
+    MODM_ASSERT(live_ > 0, "RowStore::release with no live rows");
+    freelist_.push_back(slot);
+    --live_;
+}
+
+void
+RowStore::clear()
+{
+    chunks_.clear();
+    freelist_.clear();
+    next_ = 0;
+    live_ = 0;
+}
+
+} // namespace modm

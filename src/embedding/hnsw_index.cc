@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/common/kernels.hh"
 #include "src/common/log.hh"
 #include "src/common/rng.hh"
 
@@ -36,6 +37,7 @@ HnswIndex::HnswIndex(const RetrievalBackendConfig &config,
                 config_.efConstruction, config_.hnswM);
     MODM_ASSERT(config_.efSearch >= 1, "hnsw efSearch must be >= 1");
     levelMult_ = 1.0 / std::log(static_cast<double>(config_.hnswM));
+    rows_.reset(dim_);
 }
 
 std::uint32_t
@@ -61,10 +63,37 @@ HnswIndex::maxLinks(std::uint32_t level) const
 void
 HnswIndex::reserve(std::size_t rows)
 {
-    rows_.reserve(rows * dim_);
+    rows_.reserve(rows);
     nodes_.reserve(rows);
     slotOf_.reserve(rows);
     visited_.reserve(rows);
+}
+
+std::size_t
+HnswIndex::scoreLinks(const float *query, std::uint32_t slot,
+                      std::uint32_t level, bool skipVisited) const
+{
+    // Pass 1: collect candidate rows in link order (marking visited in
+    // that same order, which is part of the beam's determinism
+    // contract). Pass 2: score them together through the gather
+    // kernel, which prefetches upcoming rows while scoring the current
+    // block — the links point at scattered slab rows, so this is where
+    // the expansion's cache misses get hidden.
+    linkSlots_.clear();
+    linkRows_.clear();
+    for (const std::uint32_t nb : nodes_[slot].links[level]) {
+        if (skipVisited) {
+            if (visited_[nb] == visitEpoch_)
+                continue;
+            visited_[nb] = visitEpoch_;
+        }
+        linkSlots_.push_back(nb);
+        linkRows_.push_back(row(nb));
+    }
+    linkScores_.resize(linkSlots_.size());
+    kernels::dotGather(query, linkRows_.data(), linkRows_.size(), dim_,
+                       linkScores_.data());
+    return linkSlots_.size();
 }
 
 std::uint32_t
@@ -73,16 +102,19 @@ HnswIndex::greedyStep(const float *query, std::uint32_t start,
 {
     // Hill-climb to a local optimum: move to the strictly best-scoring
     // neighbor until none improves. Tombstones route like any node.
+    // Scoring all links then folding in link order admits the same
+    // node the per-link loop did (strictly-greater, earliest link
+    // wins).
     std::uint32_t cur = start;
-    double curScore = dot(query, row(cur), dim_);
+    double curScore = kernels::dot(query, row(cur), dim_);
     bool improved = true;
     while (improved) {
         improved = false;
-        for (const std::uint32_t nb : nodes_[cur].links[level]) {
-            const double score = dot(query, row(nb), dim_);
-            if (score > curScore) {
-                curScore = score;
-                cur = nb;
+        const std::size_t n = scoreLinks(query, cur, level, false);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (linkScores_[i] > curScore) {
+                curScore = linkScores_[i];
+                cur = linkSlots_[i];
                 improved = true;
             }
         }
@@ -118,7 +150,7 @@ HnswIndex::searchLayer(const float *query, std::uint32_t entry,
     };
 
     std::vector<Candidate> frontier, results;
-    const Candidate seed{entry, dot(query, row(entry), dim_)};
+    const Candidate seed{entry, kernels::dot(query, row(entry), dim_)};
     frontier.push_back(seed);
     if (!liveOnly || !nodes_[entry].dead)
         results.push_back(seed);
@@ -129,11 +161,14 @@ HnswIndex::searchLayer(const float *query, std::uint32_t entry,
         frontier.pop_back();
         if (results.size() >= ef && cur.score < results.front().score)
             break; // nothing reachable can improve the beam
-        for (const std::uint32_t nb : nodes_[cur.slot].links[level]) {
-            if (visited_[nb] == visitEpoch_)
-                continue;
-            visited_[nb] = visitEpoch_;
-            const double score = dot(query, row(nb), dim_);
+        // Two passes (collect-and-mark, then batch-score) feed the
+        // heap admission below in the exact link order the per-link
+        // loop used, so the beam — and therefore every result — is
+        // unchanged; only the row loads got batched.
+        const std::size_t n = scoreLinks(query, cur.slot, level, true);
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::uint32_t nb = linkSlots_[i];
+            const double score = linkScores_[i];
             if (results.size() >= ef &&
                 score <= results.front().score)
                 continue;
@@ -170,7 +205,7 @@ HnswIndex::selectNeighbors(std::vector<Candidate> candidates,
             break;
         bool diverse = true;
         for (const std::uint32_t s : selected) {
-            if (dot(row(c.slot), row(s), dim_) > c.score) {
+            if (kernels::dot(row(c.slot), row(s), dim_) > c.score) {
                 diverse = false;
                 break;
             }
@@ -197,7 +232,7 @@ HnswIndex::pruneLinks(std::uint32_t slot, std::uint32_t level)
     std::vector<Candidate> candidates;
     candidates.reserve(links.size());
     for (const std::uint32_t nb : links)
-        candidates.push_back({nb, dot(row(slot), row(nb), dim_)});
+        candidates.push_back({nb, kernels::dot(row(slot), row(nb), dim_)});
     std::sort(candidates.begin(), candidates.end(),
               [](const Candidate &a, const Candidate &b) {
                   if (a.score != b.score)
@@ -245,7 +280,7 @@ HnswIndex::insertRow(std::uint64_t id, const float *data)
     MODM_ASSERT(!contains(id), "hnsw insert: duplicate id %llu",
                 static_cast<unsigned long long>(id));
     const auto slot = static_cast<std::uint32_t>(nodes_.size());
-    rows_.insert(rows_.end(), data, data + dim_);
+    rows_.pushBack(data);
     Node node;
     node.id = id;
     node.level = levelFor(id);
@@ -330,10 +365,10 @@ HnswIndex::compact()
     // Rebuild from the live rows in slot order — a pure function of
     // the construction sequence, so two indexes fed equal sequences
     // compact identically. Bounds memory at <= 2x live under churn.
-    std::vector<float> oldRows;
+    AlignedRows oldRows = std::move(rows_);
     std::vector<Node> oldNodes;
-    oldRows.swap(rows_);
     oldNodes.swap(nodes_);
+    rows_.reset(dim_);
     slotOf_.clear();
     visited_.clear();
     visitEpoch_ = 0;
@@ -343,8 +378,7 @@ HnswIndex::compact()
     for (std::uint32_t s = 0; s < oldNodes.size(); ++s) {
         if (oldNodes[s].dead)
             continue;
-        insertRow(oldNodes[s].id,
-                  &oldRows[static_cast<std::size_t>(s) * dim_]);
+        insertRow(oldNodes[s].id, oldRows.row(s));
     }
     ++compactions_;
 }
@@ -398,17 +432,27 @@ HnswIndex::exactBest(const Embedding &query) const
         return result;
     MODM_ASSERT(query.dim() == dim_, "hnsw query: dimension mismatch");
     const float *q = query.vec().data();
+    // Rows are slot-contiguous in the slab (tombstones included), so
+    // score everything with the batched kernel and skip tombstones in
+    // the fold; ties still break by id, exactly as before.
     bool found = false;
-    for (std::uint32_t s = 0; s < nodes_.size(); ++s) {
-        if (nodes_[s].dead)
-            continue;
-        const double score = dot(q, row(s), dim_);
-        if (!found ||
-            idScoreBefore(nodes_[s].id, score, result.id,
-                          result.similarity)) {
-            result.id = nodes_[s].id;
-            result.similarity = score;
-            found = true;
+    constexpr std::size_t kBlock = 256;
+    double scores[kBlock];
+    for (std::size_t base = 0; base < nodes_.size(); base += kBlock) {
+        const std::size_t len = std::min(kBlock, nodes_.size() - base);
+        kernels::dotBatch(q, rows_.row(base), rows_.stride(), len, dim_,
+                          scores);
+        for (std::size_t i = 0; i < len; ++i) {
+            const Node &node = nodes_[base + i];
+            if (node.dead)
+                continue;
+            if (!found ||
+                idScoreBefore(node.id, scores[i], result.id,
+                              result.similarity)) {
+                result.id = node.id;
+                result.similarity = scores[i];
+                found = true;
+            }
         }
     }
     return result;
@@ -447,7 +491,9 @@ HnswIndex::effectiveEfSearch() const
 std::size_t
 HnswIndex::memoryBytes() const
 {
-    std::size_t bytes = rows_.size() * sizeof(float) +
+    // Rows count dim (not stride) floats per slot, tombstones
+    // included, so the figure is unchanged from the pre-slab layout.
+    std::size_t bytes = nodes_.size() * dim_ * sizeof(float) +
         locatorBytes(slotOf_.size(), sizeof(std::uint32_t));
     for (const Node &node : nodes_) {
         bytes += sizeof(node.id) + sizeof(node.level) + 1;

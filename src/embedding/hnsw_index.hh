@@ -43,6 +43,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/row_store.hh"
 #include "src/embedding/embedding.hh"
 #include "src/embedding/vector_index.hh"
 
@@ -103,7 +104,7 @@ class HnswIndex final : public VectorIndex
     std::uint64_t compactions() const { return compactions_; }
 
   private:
-    /** One graph node; row lives at slot * dim_ in rows_. */
+    /** One graph node; row lives at slot `slot` of rows_. */
     struct Node
     {
         std::uint64_t id = 0;
@@ -123,8 +124,18 @@ class HnswIndex final : public VectorIndex
     /** Row of a slot. */
     const float *row(std::uint32_t slot) const
     {
-        return &rows_[static_cast<std::size_t>(slot) * dim_];
+        return rows_.row(slot);
     }
+
+    /**
+     * Score every link of `slot` on `level` against the query through
+     * the gather kernel (skipping slots the filter rejects), appending
+     * (slot, score) pairs to scratch buffers in link order. Shared by
+     * the beam expansion and the greedy descent so both get batched
+     * row loads with cross-row prefetch.
+     */
+    std::size_t scoreLinks(const float *query, std::uint32_t slot,
+                           std::uint32_t level, bool skipVisited) const;
 
     /** Layer draw: pure function of (id, config.seed). */
     std::uint32_t levelFor(std::uint64_t id) const;
@@ -180,7 +191,7 @@ class HnswIndex final : public VectorIndex
     double load_ = 0.0;
     /** 1 / ln(M): the layer distribution's scale. */
     double levelMult_;
-    std::vector<float> rows_; // slots() * dim_ floats
+    AlignedRows rows_; // slot-addressed, tombstones keep their row
     std::vector<Node> nodes_;
     /** id -> slot, live nodes only. */
     std::unordered_map<std::uint64_t, std::uint32_t> slotOf_;
@@ -192,6 +203,11 @@ class HnswIndex final : public VectorIndex
     /** Scratch visited-marks, versioned to avoid per-query clears. */
     mutable std::vector<std::uint64_t> visited_;
     mutable std::uint64_t visitEpoch_ = 0;
+    /** Scratch for scoreLinks (single-threaded by contract, so shared
+     *  scratch keeps the expansion allocation-free at steady state). */
+    mutable std::vector<std::uint32_t> linkSlots_;
+    mutable std::vector<const float *> linkRows_;
+    mutable std::vector<double> linkScores_;
 };
 
 } // namespace modm::embedding

@@ -1,8 +1,8 @@
 #include "src/embedding/index.hh"
 
 #include <algorithm>
-#include <cstring>
 
+#include "src/common/kernels.hh"
 #include "src/common/log.hh"
 #include "src/common/thread_pool.hh"
 
@@ -35,12 +35,13 @@ FlatIndex::FlatIndex(std::size_t dim)
     : dim_(dim)
 {
     MODM_ASSERT(dim_ > 0, "index dimension must be positive");
+    rows_.reset(dim_);
 }
 
 void
 FlatIndex::reserve(std::size_t rows)
 {
-    rows_.reserve(rows * dim_);
+    rows_.reserve(rows);
     ids_.reserve(rows);
     slotOf_.reserve(rows);
 }
@@ -54,8 +55,7 @@ FlatIndex::insert(std::uint64_t id, const Embedding &embedding)
                 static_cast<unsigned long long>(id));
     slotOf_[id] = ids_.size();
     ids_.push_back(id);
-    rows_.insert(rows_.end(), embedding.vec().begin(),
-                 embedding.vec().end());
+    rows_.pushBack(embedding.vec().data());
 }
 
 bool
@@ -68,12 +68,10 @@ FlatIndex::remove(std::uint64_t id)
     const std::size_t last = ids_.size() - 1;
     if (slot != last) {
         // Swap the last row into the vacated slot.
-        std::memcpy(&rows_[slot * dim_], &rows_[last * dim_],
-                    dim_ * sizeof(float));
         ids_[slot] = ids_[last];
         slotOf_[ids_[slot]] = slot;
     }
-    rows_.resize(last * dim_);
+    rows_.swapRemove(slot);
     ids_.pop_back();
     slotOf_.erase(it);
     return true;
@@ -104,13 +102,15 @@ FlatIndex::SlotScore
 FlatIndex::scanBest(const float *query, std::size_t lo,
                       std::size_t hi) const
 {
+    // The batched kernel admits strictly-greater scores in slot order,
+    // so the earliest slot wins ties exactly as the old serial loop.
     SlotScore result{lo, -2.0};
-    for (std::size_t slot = lo; slot < hi; ++slot) {
-        const double acc = dot(query, &rows_[slot * dim_], dim_);
-        if (acc > result.score) {
-            result.score = acc;
-            result.slot = slot;
-        }
+    std::size_t slot = 0;
+    double score = 0.0;
+    if (kernels::bestBatch(query, rows_.row(lo), rows_.stride(),
+                           hi - lo, dim_, &slot, &score)) {
+        result.slot = lo + slot;
+        result.score = score;
     }
     return result;
 }
@@ -119,31 +119,20 @@ std::vector<FlatIndex::SlotScore>
 FlatIndex::scanTop(const float *query, std::size_t lo, std::size_t hi,
                      std::size_t keep) const
 {
-    // Bounded selection: a heap of the `keep` best slots seen so far,
-    // worst at the front, so the scan stays O(rows * dim) with an
-    // O(log keep) update only when a row beats the current worst.
-    // scoreBefore() is a total order, so this matches a full sort.
-    const auto better = [](const SlotScore &a, const SlotScore &b) {
-        return scoreBefore(a.slot, a.score, b.slot, b.score);
-    };
-    std::vector<SlotScore> heap;
+    // kernels::topKBatch performs the bounded selection over the
+    // shard's contiguous slot range by the same (score desc, slot asc)
+    // total order, scoring rows through the batched kernel; slots come
+    // back relative to `lo`.
+    std::vector<SlotScore> top;
     if (keep == 0)
-        return heap;
-    heap.reserve(std::min(keep, hi - lo));
-    for (std::size_t slot = lo; slot < hi; ++slot) {
-        const SlotScore candidate{slot, dot(query, &rows_[slot * dim_],
-                                            dim_)};
-        if (heap.size() < keep) {
-            heap.push_back(candidate);
-            std::push_heap(heap.begin(), heap.end(), better);
-        } else if (better(candidate, heap.front())) {
-            std::pop_heap(heap.begin(), heap.end(), better);
-            heap.back() = candidate;
-            std::push_heap(heap.begin(), heap.end(), better);
-        }
-    }
-    std::sort(heap.begin(), heap.end(), better);
-    return heap;
+        return top;
+    const auto scored = kernels::topKBatch(query, rows_.row(lo),
+                                           rows_.stride(), hi - lo,
+                                           dim_, keep);
+    top.reserve(scored.size());
+    for (const auto &s : scored)
+        top.push_back({lo + s.slot, s.score});
+    return top;
 }
 
 Match

@@ -26,6 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/row_store.hh"
 #include "src/embedding/embedding.hh"
 #include "src/embedding/vector_index.hh"
 
@@ -108,10 +109,12 @@ class FlatIndex final : public VectorIndex
     /** Remove everything. */
     void clear() override;
 
-    /** Flat rows + ids + locator payloads; ~4 * dim + 32 per entry. */
+    /** Flat rows + ids + locator payloads; ~4 * dim + 32 per entry.
+     *  Counts dim (not stride) floats per row so the figure is
+     *  unchanged from the pre-slab layout at any dimension. */
     std::size_t memoryBytes() const override
     {
-        return rows_.size() * sizeof(float) +
+        return ids_.size() * dim_ * sizeof(float) +
             ids_.size() * sizeof(std::uint64_t) +
             locatorBytes(slotOf_.size(), sizeof(std::size_t));
     }
@@ -138,7 +141,7 @@ class FlatIndex final : public VectorIndex
     std::size_t dim_;
     std::size_t parallelism_ = 1;
     std::size_t parallelThreshold_ = kDefaultParallelThreshold;
-    std::vector<float> rows_;                    // size() * dim_ floats
+    AlignedRows rows_;               // slot-addressed, 64-byte aligned
     std::vector<std::uint64_t> ids_;             // slot -> id
     std::unordered_map<std::uint64_t, std::size_t> slotOf_; // id -> slot
 };

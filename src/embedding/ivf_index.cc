@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "src/common/kernels.hh"
 #include "src/common/log.hh"
 #include "src/common/rng.hh"
 
@@ -21,10 +22,13 @@ idScoreBefore(std::uint64_t idA, double scoreA, std::uint64_t idB,
     return idA < idB;
 }
 
+/** Rows per batched-scoring block in the list scans. */
+constexpr std::size_t kListBlock = 256;
+
 } // namespace
 
 IvfIndex::IvfIndex(const RetrievalBackendConfig &config, std::size_t dim)
-    : dim_(dim), config_(config), lists_(1)
+    : dim_(dim), config_(config), lists_(makeLists(1))
 {
     MODM_ASSERT(dim_ > 0, "ivf index dimension must be positive");
     MODM_ASSERT(config_.nlist > 0, "ivf nlist must be positive");
@@ -44,12 +48,21 @@ IvfIndex::trainFloor() const
     return kTrainFactor * config_.nlist;
 }
 
+std::vector<IvfIndex::List>
+IvfIndex::makeLists(std::size_t count) const
+{
+    std::vector<List> lists(count);
+    for (List &l : lists)
+        l.rows.reset(dim_);
+    return lists;
+}
+
 void
 IvfIndex::reserve(std::size_t rows)
 {
     locator_.reserve(rows);
     if (!trained_) {
-        lists_[0].rows.reserve(std::min(rows, trainFloor()) * dim_);
+        lists_[0].rows.reserve(std::min(rows, trainFloor()));
         lists_[0].ids.reserve(std::min(rows, trainFloor()));
     }
 }
@@ -57,15 +70,12 @@ IvfIndex::reserve(std::size_t rows)
 std::size_t
 IvfIndex::assignList(const float *row) const
 {
+    // Strictly-greater admission over ascending centroid slots: ties
+    // keep the lowest index, matching the pre-kernel loop.
     std::size_t bestList = 0;
-    double bestScore = -2.0;
-    for (std::size_t c = 0; c < lists_.size(); ++c) {
-        const double score = dot(row, &centroids_[c * dim_], dim_);
-        if (score > bestScore) {
-            bestScore = score;
-            bestList = c;
-        }
-    }
+    double bestScore = 0.0;
+    kernels::bestBatch(row, centroids_.data(), dim_, lists_.size(),
+                       dim_, &bestList, &bestScore);
     return bestList;
 }
 
@@ -76,7 +86,7 @@ IvfIndex::appendToList(std::size_t list, std::uint64_t id,
     List &l = lists_[list];
     locator_[id] = {list, l.ids.size()};
     l.ids.push_back(id);
-    l.rows.insert(l.rows.end(), row, row + dim_);
+    l.rows.pushBack(row);
 }
 
 void
@@ -108,12 +118,10 @@ IvfIndex::remove(std::uint64_t id)
     const std::size_t last = l.ids.size() - 1;
     if (loc.pos != last) {
         // Swap the list's last row into the vacated position.
-        std::memcpy(&l.rows[loc.pos * dim_], &l.rows[last * dim_],
-                    dim_ * sizeof(float));
         l.ids[loc.pos] = l.ids[last];
         locator_[l.ids[loc.pos]].pos = loc.pos;
     }
-    l.rows.resize(last * dim_);
+    l.rows.swapRemove(loc.pos);
     l.ids.pop_back();
     locator_.erase(it);
     return true;
@@ -140,7 +148,7 @@ IvfIndex::train()
     rowPtrs.reserve(total);
     for (const List &l : lists_) {
         for (std::size_t p = 0; p < l.ids.size(); ++p)
-            rowPtrs.push_back(&l.rows[p * dim_]);
+            rowPtrs.push_back(l.rows.row(p));
     }
     const std::size_t sampleCount = std::min(total, kMaxTrainRows);
     std::vector<const float *> sample;
@@ -174,16 +182,12 @@ IvfIndex::train()
     std::vector<std::size_t> counts(nlist);
     for (std::size_t iter = 0; iter < kKmeansIters; ++iter) {
         for (std::size_t s = 0; s < sample.size(); ++s) {
+            // Same strictly-greater / lowest-index admission as the
+            // pre-kernel centroid loop.
             std::size_t bestC = 0;
             double best = -2.0;
-            for (std::size_t c = 0; c < nlist; ++c) {
-                const double score =
-                    dot(sample[s], &centroids[c * dim_], dim_);
-                if (score > best) {
-                    best = score;
-                    bestC = c;
-                }
-            }
+            kernels::bestBatch(sample[s], centroids.data(), dim_, nlist,
+                               dim_, &bestC, &best);
             assign[s] = bestC;
             bestDot[s] = best;
         }
@@ -237,11 +241,11 @@ IvfIndex::train()
     centroids_ = std::move(centroids);
     std::vector<List> old;
     old.swap(lists_);
-    lists_.assign(nlist, List{});
+    lists_ = makeLists(nlist);
     trained_ = true;
     for (const List &l : old) {
         for (std::size_t p = 0; p < l.ids.size(); ++p) {
-            const float *row = &l.rows[p * dim_];
+            const float *row = l.rows.row(p);
             appendToList(assignList(row), l.ids[p], row);
         }
     }
@@ -302,8 +306,8 @@ IvfIndex::probeLists(const float *query) const
     for (std::size_t c = 0; c < order.size(); ++c)
         order[c] = c;
     std::vector<double> scores(lists_.size());
-    for (std::size_t c = 0; c < lists_.size(); ++c)
-        scores[c] = dot(query, &centroids_[c * dim_], dim_);
+    kernels::dotBatch(query, centroids_.data(), dim_, lists_.size(),
+                      dim_, scores.data());
     std::partial_sort(order.begin(), order.begin() + nprobe, order.end(),
                       [&scores](std::size_t a, std::size_t b) {
                           if (scores[a] != scores[b])
@@ -318,13 +322,23 @@ void
 IvfIndex::bestInList(const List &l, const float *query,
                      Match &best, bool &found) const
 {
-    for (std::size_t p = 0; p < l.ids.size(); ++p) {
-        const double score = dot(query, &l.rows[p * dim_], dim_);
-        if (!found ||
-            idScoreBefore(l.ids[p], score, best.id, best.similarity)) {
-            best.id = l.ids[p];
-            best.similarity = score;
-            found = true;
+    // Score in batched blocks, fold in position order; ties break by
+    // id (not slot), so the admission itself stays the scalar loop.
+    double scores[kListBlock];
+    for (std::size_t base = 0; base < l.ids.size();
+         base += kListBlock) {
+        const std::size_t len =
+            std::min(kListBlock, l.ids.size() - base);
+        kernels::dotBatch(query, l.rows.row(base), l.rows.stride(),
+                          len, dim_, scores);
+        for (std::size_t i = 0; i < len; ++i) {
+            const std::uint64_t id = l.ids[base + i];
+            if (!found || idScoreBefore(id, scores[i], best.id,
+                                        best.similarity)) {
+                best.id = id;
+                best.similarity = scores[i];
+                found = true;
+            }
         }
     }
 }
@@ -393,8 +407,16 @@ IvfIndex::topK(const Embedding &query, std::size_t k) const
         }
     };
     const auto scanList = [&](const List &l) {
-        for (std::size_t p = 0; p < l.ids.size(); ++p)
-            offer(l.ids[p], dot(q, &l.rows[p * dim_], dim_));
+        double scores[kListBlock];
+        for (std::size_t base = 0; base < l.ids.size();
+             base += kListBlock) {
+            const std::size_t len =
+                std::min(kListBlock, l.ids.size() - base);
+            kernels::dotBatch(q, l.rows.row(base), l.rows.stride(),
+                              len, dim_, scores);
+            for (std::size_t i = 0; i < len; ++i)
+                offer(l.ids[base + i], scores[i]);
+        }
     };
 
     if (!trained_) {
@@ -424,10 +446,12 @@ IvfIndex::approximate() const
 std::size_t
 IvfIndex::memoryBytes() const
 {
+    // Rows count dim (not stride) floats, so the figure is unchanged
+    // from the pre-slab layout at any dimension.
     std::size_t bytes = centroids_.size() * sizeof(float) +
         locatorBytes(locator_.size(), sizeof(Location));
     for (const List &l : lists_)
-        bytes += l.rows.size() * sizeof(float) +
+        bytes += l.ids.size() * dim_ * sizeof(float) +
             l.ids.size() * sizeof(std::uint64_t);
     return bytes;
 }
@@ -445,7 +469,7 @@ IvfIndex::setNprobe(std::size_t nprobe)
 void
 IvfIndex::clear()
 {
-    lists_.assign(1, List{});
+    lists_ = makeLists(1);
     centroids_.clear();
     locator_.clear();
     trained_ = false;

@@ -42,6 +42,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/row_store.hh"
 #include "src/embedding/embedding.hh"
 #include "src/embedding/vector_index.hh"
 
@@ -112,12 +113,15 @@ class IvfIndex final : public VectorIndex
     std::size_t trainFloor() const;
 
   private:
-    /** One inverted list: parallel flat rows + ids. */
+    /** One inverted list: parallel slab rows + ids. */
     struct List
     {
-        std::vector<float> rows;       // ids.size() * dim_ floats
+        AlignedRows rows;              // slot p holds ids[p]'s row
         std::vector<std::uint64_t> ids;
     };
+
+    /** Fresh lists with row storage sized for this index's dim. */
+    std::vector<List> makeLists(std::size_t count) const;
 
     /** Where an id lives. */
     struct Location

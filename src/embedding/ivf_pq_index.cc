@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "src/common/kernels.hh"
 #include "src/common/log.hh"
 #include "src/common/rng.hh"
 
@@ -107,15 +108,12 @@ IvfPqIndex::setCodeAt(std::uint8_t *row, std::size_t m,
 std::size_t
 IvfPqIndex::assignList(const float *row) const
 {
+    // Strictly-greater admission in index order: lowest index wins
+    // ties, same as the scalar loop this replaces.
     std::size_t bestList = 0;
-    double bestScore = -2.0;
-    for (std::size_t c = 0; c < lists_.size(); ++c) {
-        const double score = dot(row, &centroids_[c * dim_], dim_);
-        if (score > bestScore) {
-            bestScore = score;
-            bestList = c;
-        }
-    }
+    double bestScore = 0.0;
+    kernels::bestBatch(row, centroids_.data(), dim_, lists_.size(),
+                       dim_, &bestList, &bestScore);
     return bestList;
 }
 
@@ -309,14 +307,8 @@ IvfPqIndex::train(const std::vector<float> &rows,
         for (std::size_t s = 0; s < sample.size(); ++s) {
             std::size_t bestC = 0;
             double best = -2.0;
-            for (std::size_t c = 0; c < nlist; ++c) {
-                const double score =
-                    dot(sample[s], &centroids[c * dim_], dim_);
-                if (score > best) {
-                    best = score;
-                    bestC = c;
-                }
-            }
+            kernels::bestBatch(sample[s], centroids.data(), dim_,
+                               nlist, dim_, &bestC, &best);
             assign[s] = bestC;
             bestDot[s] = best;
         }
@@ -541,8 +533,8 @@ IvfPqIndex::probeLists(const float *query) const
     for (std::size_t c = 0; c < order.size(); ++c)
         order[c] = c;
     std::vector<double> scores(lists_.size());
-    for (std::size_t c = 0; c < lists_.size(); ++c)
-        scores[c] = dot(query, &centroids_[c * dim_], dim_);
+    kernels::dotBatch(query, centroids_.data(), dim_, lists_.size(),
+                      dim_, scores.data());
     std::partial_sort(order.begin(), order.begin() + nprobe,
                       order.end(),
                       [&scores](std::size_t a, std::size_t b) {
@@ -559,12 +551,13 @@ IvfPqIndex::adcShortlist(const float *query, std::size_t keep) const
 {
     // Per-subspace dot tables, shared across every probed list: the
     // asymmetric distance trick — dot(q, centroid + sum codewords) =
-    // dot(q, centroid) + sum_m table[m][code_m].
+    // dot(q, centroid) + sum_m table[m][code_m]. Each subspace's
+    // codebook is a contiguous ksub x subDim block, so one batched
+    // kernel call fills its whole table row.
     std::vector<double> table(config_.pqM * ksub_);
     for (std::size_t m = 0; m < config_.pqM; ++m)
-        for (std::size_t j = 0; j < ksub_; ++j)
-            table[m * ksub_ + j] =
-                dot(query + m * subDim_, codeword(m, j), subDim_);
+        kernels::dotBatch(query + m * subDim_, codeword(m, 0), subDim_,
+                          ksub_, subDim_, &table[m * ksub_]);
 
     const auto probes = probeLists(query);
     std::size_t scanned = 0;
@@ -595,7 +588,8 @@ IvfPqIndex::adcShortlist(const float *query, std::size_t keep) const
     };
     const auto scanList = [&](std::size_t c) {
         const List &l = lists_[c];
-        const double base = dot(query, &centroids_[c * dim_], dim_);
+        const double base =
+            kernels::dot(query, &centroids_[c * dim_], dim_);
         for (std::size_t p = 0; p < l.ids.size(); ++p) {
             const std::uint8_t *codes = &l.codes[p * codeBytes_];
             double score = base;
@@ -635,12 +629,15 @@ IvfPqIndex::topK(const Embedding &query, std::size_t k) const
         return idScoreBefore(a.id, a.similarity, b.id, b.similarity);
     };
     if (!trained_) {
-        // Exact single-list scan below the training floor.
+        // Exact single-list scan below the training floor; staging is
+        // one contiguous block, so score it in a single batched call.
+        std::vector<double> scores(stagingIds_.size());
+        kernels::dotBatch(q, staging_.data(), dim_,
+                          stagingIds_.size(), dim_, scores.data());
         std::vector<Match> scored;
         scored.reserve(stagingIds_.size());
         for (std::size_t p = 0; p < stagingIds_.size(); ++p)
-            scored.push_back({stagingIds_[p],
-                              dot(q, &staging_[p * dim_], dim_)});
+            scored.push_back({stagingIds_[p], scores[p]});
         std::sort(scored.begin(), scored.end(), better);
         if (scored.size() > k)
             scored.resize(k);
@@ -651,13 +648,26 @@ IvfPqIndex::topK(const Embedding &query, std::size_t k) const
     if (source_ != nullptr) {
         // Exact re-rank of the shortlist: ADC picked the candidates,
         // true rows pick the order — recall@1 stays honest against
-        // quantization noise. Rows the source cannot resolve keep
+        // quantization noise. The RowSource hands out slab pointers,
+        // so the gather kernel reads the cache's rows in place (no
+        // temporary copies); rows the source cannot resolve keep
         // their ADC score.
-        for (Match &m : shortlist) {
-            const float *row = source_->row(m.id);
-            if (row != nullptr)
-                m.similarity = dot(q, row, dim_);
+        std::vector<const float *> rowPtrs;
+        std::vector<std::size_t> rowAt;
+        rowPtrs.reserve(shortlist.size());
+        rowAt.reserve(shortlist.size());
+        for (std::size_t i = 0; i < shortlist.size(); ++i) {
+            const float *row = source_->row(shortlist[i].id);
+            if (row != nullptr) {
+                rowPtrs.push_back(row);
+                rowAt.push_back(i);
+            }
         }
+        std::vector<double> exact(rowPtrs.size());
+        kernels::dotGather(q, rowPtrs.data(), rowPtrs.size(), dim_,
+                           exact.data());
+        for (std::size_t i = 0; i < rowAt.size(); ++i)
+            shortlist[rowAt[i]].similarity = exact[i];
         std::sort(shortlist.begin(), shortlist.end(), better);
     }
     if (shortlist.size() > k)
@@ -674,9 +684,12 @@ IvfPqIndex::exactBest(const Embedding &query) const
     MODM_ASSERT(query.dim() == dim_, "ivfpq query: dimension mismatch");
     const float *q = query.vec().data();
     if (!trained_) {
+        std::vector<double> scores(stagingIds_.size());
+        kernels::dotBatch(q, staging_.data(), dim_,
+                          stagingIds_.size(), dim_, scores.data());
         bool found = false;
         for (std::size_t p = 0; p < stagingIds_.size(); ++p) {
-            const double score = dot(q, &staging_[p * dim_], dim_);
+            const double score = scores[p];
             if (!found ||
                 idScoreBefore(stagingIds_[p], score, result.id,
                               result.similarity)) {
@@ -700,7 +713,7 @@ IvfPqIndex::exactBest(const Embedding &query) const
                                recon.data());
                 row = recon.data();
             }
-            const double score = dot(q, row, dim_);
+            const double score = kernels::dot(q, row, dim_);
             if (!found ||
                 idScoreBefore(l.ids[p], score, result.id,
                               result.similarity)) {

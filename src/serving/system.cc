@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "src/cache/shard.hh"
+#include "src/common/kernels.hh"
 #include "src/common/log.hh"
 #include "src/common/rng.hh"
 
@@ -342,6 +343,9 @@ ServingSystem::run(const workload::Trace &trace)
     result_.cacheBytes = 0.0;
     result_.retrievalBackend = config_.retrieval.kind;
     result_.retrievalMemoryBytes = 0;
+    const kernels::KernelInfo kernel = kernels::active();
+    result_.kernel = kernel.name;
+    result_.kernelForced = kernel.fromEnv;
     result_.numNodes = nodes_.size();
     result_.nodes.clear();
     result_.nodes.reserve(nodes_.size());

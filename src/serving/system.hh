@@ -62,6 +62,15 @@ struct ServingResult
      * shards — the memory-budget axis of the backend trade-off.
      */
     std::size_t retrievalMemoryBytes = 0;
+    /**
+     * Dot-kernel dispatch tier the run executed with (kernels::active)
+     * — provenance for artifacts, deliberately excluded from
+     * resultDigest so equal results compare equal across tiers (the
+     * tiers are bit-identical by contract; see kernels.hh).
+     */
+    std::string kernel;
+    /** True when MODM_KERNEL forced the tier (vs CPUID auto-pick). */
+    bool kernelForced = false;
     /** Total cluster energy (compute + idle) in joules. */
     double energyJ = 0.0;
     /** Model switches across workers. */

@@ -941,6 +941,52 @@ TEST(RetrievalBackendSeam, ImageCacheTracksRecallOnIvfOnly)
     EXPECT_EQ(flat.stats().recallChecked, std::uint64_t{0});
 }
 
+TEST(RetrievalBackendSeam, IvfPqRerankReadsCacheRowsZeroCopy)
+{
+    // The cache hands the IVF-PQ re-rank its slab rows in place; the
+    // rowAccesses() counter pins that path so a regression back to
+    // copying (or to skipping the exact re-rank) fails loudly.
+    embedding::RetrievalBackendConfig pq;
+    pq.kind = embedding::RetrievalBackend::IvfPq;
+    cache::ImageCache cache(4000, cache::EvictionPolicy::FIFO, {}, 1,
+                            pq);
+
+    auto gen = workload::makeDiffusionDB(3);
+    diffusion::Sampler sampler(5);
+    embedding::TextEncoder text;
+    std::uint64_t someId = 0;
+    for (std::size_t i = 0; i < 2000; ++i) {
+        const auto img =
+            sampler.generate(diffusion::sd35Large(), gen->next(), 0.0);
+        cache.insert(img, 0.0);
+        someId = img.id;
+    }
+    // Building and training never read back through the RowSource.
+    const std::uint64_t baseline = cache.rowAccesses();
+
+    for (std::size_t q = 0; q < 50; ++q) {
+        const auto p = gen->next();
+        const auto e =
+            text.encode(p.visualConcept, p.lexicalStyle, p.text);
+        EXPECT_TRUE(cache.retrieve(e).found);
+    }
+    EXPECT_GT(cache.rowAccesses(), baseline)
+        << "IVF-PQ retrieval never touched the exact-row re-rank";
+
+    // Zero-copy means the SAME slab pointer every time, stable across
+    // unrelated inserts (RowStore chunks never move).
+    const float *first = cache.row(someId);
+    ASSERT_NE(first, nullptr);
+    for (std::size_t i = 0; i < 100; ++i) {
+        const auto img =
+            sampler.generate(diffusion::sd35Large(), gen->next(), 0.0);
+        cache.insert(img, 1.0);
+    }
+    ASSERT_TRUE(cache.contains(someId));
+    EXPECT_EQ(cache.row(someId), first);
+    EXPECT_EQ(cache.row(1u << 30), nullptr); // absent id
+}
+
 TEST(RetrievalBackendSeam, ServingRunsOnBothBackends)
 {
     auto gen = workload::makeDiffusionDB(21);
