@@ -17,11 +17,19 @@
  * plus HNSW and IVF-PQ rows (with `bytes_per_entry`) in the
  * retrieval microbench. Schema 4 added kernel provenance: a top-level
  * `kernel` object (active dot-kernel dispatch tier + whether
- * MODM_KERNEL forced it) and a per-cell `kernel` field. Serving
- * metrics are virtual-time and bit-deterministic across kernel tiers
- * (kernels.hh pins the summation order); the us/query retrieval
- * column is wall time and is the only machine-dependent number in
- * the file.
+ * MODM_KERNEL forced it) and a per-cell `kernel` field. Schema 5
+ * turns the observability layer on for every cell: per-cell
+ * `trace_events` / `trace_hash` (event count and final rolling hash
+ * of the run's event log — the determinism fingerprint trace_diff
+ * compares) and a top-level `timeseries` path naming the streaming-
+ * metrics CSV artifact (<output-stem>_timeseries.csv, one row per
+ * virtual-clock window per metric per cell) written alongside the
+ * JSON. Tracing is observation-only, and like the kernel fields the
+ * trace/metrics outputs are excluded from resultDigest, so serving
+ * numbers are unchanged from schema 4. Serving metrics are
+ * virtual-time and bit-deterministic across kernel tiers (kernels.hh
+ * pins the summation order); the us/query retrieval column is wall
+ * time and is the only machine-dependent number in the file.
  *
  * Usage: bench_serving_json [output-path]   (default BENCH_serving.json)
  */
@@ -39,10 +47,12 @@ using namespace modm;
 
 namespace {
 
-constexpr int kSchema = 4;
+constexpr int kSchema = 5;
 constexpr std::size_t kWarm = 800;
 constexpr std::size_t kRequests = 2000;
 constexpr double kRatePerMin = 12.0;
+/** Streaming-metrics window (virtual seconds) for every cell. */
+constexpr double kMetricsWindowS = 60.0;
 constexpr std::size_t kRetrievalRows = 4000;
 constexpr std::size_t kRetrievalQueries = 400;
 
@@ -166,6 +176,13 @@ main(int argc, char **argv)
         });
         cellRates.push_back(2.0 * kRatePerMin);
     }
+    // Schema 5: every cell records its event trace and a streaming
+    // metrics series. Observation-only — serving numbers and digests
+    // are bit-identical to an untraced run.
+    for (auto &cell : spec.cells) {
+        cell.config.trace.events = true;
+        cell.config.trace.metricsWindow = kMetricsWindowS;
+    }
     const auto results = bench::runSweep(spec);
 
     embedding::RetrievalBackendConfig flat;
@@ -189,6 +206,40 @@ main(int argc, char **argv)
     constexpr std::size_t kNumRetrievalPoints =
         sizeof(retrievalPoints) / sizeof(retrievalPoints[0]);
 
+    // The metrics time series lives next to the JSON as
+    // <output-stem>_timeseries.csv; the JSON names it so downstream
+    // tooling finds both from one artifact path.
+    std::string csvPath = path;
+    const std::string::size_type dot = csvPath.rfind(".json");
+    if (dot != std::string::npos && dot + 5 == csvPath.size())
+        csvPath.resize(dot);
+    csvPath += "_timeseries.csv";
+    {
+        FILE *csv = std::fopen(csvPath.c_str(), "w");
+        if (!csv) {
+            std::fprintf(stderr, "cannot open %s for writing\n",
+                         csvPath.c_str());
+            return 1;
+        }
+        for (std::size_t i = 0; i < spec.cells.size(); ++i) {
+            std::string text =
+                results[i].series.csv(spec.cells[i].label);
+            if (i > 0) {
+                // Drop the repeated comment + header lines so the
+                // concatenated file parses as one CSV; the cell
+                // column distinguishes the series.
+                std::string::size_type skip = text.find('\n');
+                if (skip != std::string::npos)
+                    skip = text.find('\n', skip + 1);
+                text.erase(0, skip == std::string::npos
+                                  ? text.size()
+                                  : skip + 1);
+            }
+            std::fputs(text.c_str(), csv);
+        }
+        std::fclose(csv);
+    }
+
     FILE *out = std::fopen(path.c_str(), "w");
     if (!out) {
         std::fprintf(stderr, "cannot open %s for writing\n",
@@ -200,6 +251,7 @@ main(int argc, char **argv)
     std::fprintf(out,
                  "  \"kernel\": {\"name\": \"%s\", \"forced\": %s},\n",
                  kernel.name, kernel.fromEnv ? "true" : "false");
+    std::fprintf(out, "  \"timeseries\": \"%s\",\n", csvPath.c_str());
     std::fprintf(out,
                  "  \"sweep\": {\"dataset\": \"DiffusionDB\", "
                  "\"warm\": %zu, \"requests\": %zu},\n",
@@ -217,7 +269,9 @@ main(int argc, char **argv)
             "\"rerouted_requests\": %llu, \"recovery_time_s\": %s, "
             "\"retrieval_backend\": \"%s\", "
             "\"retrieval_bytes_per_entry\": %s, "
-            "\"kernel\": \"%s\"}%s\n",
+            "\"kernel\": \"%s\", "
+            "\"trace_events\": %llu, "
+            "\"trace_hash\": \"%016llx\"}%s\n",
             spec.cells[i].label.c_str(), num(cellRates[i]).c_str(),
             num(r.throughputPerMin).c_str(), num(r.hitRate).c_str(),
             num(r.metrics.latencyPercentile(50.0)).c_str(),
@@ -235,7 +289,10 @@ main(int argc, char **argv)
                           static_cast<double>(r.cacheSize)
                     : 0.0)
                 .c_str(),
-            r.kernel.c_str(), i + 1 < spec.cells.size() ? "," : "");
+            r.kernel.c_str(),
+            static_cast<unsigned long long>(r.trace.events),
+            static_cast<unsigned long long>(r.trace.hash),
+            i + 1 < spec.cells.size() ? "," : "");
     }
     std::fprintf(out, "  ],\n");
     std::fprintf(out, "  \"retrieval\": [\n");
@@ -252,7 +309,9 @@ main(int argc, char **argv)
     }
     std::fprintf(out, "  ]\n}\n");
     std::fclose(out);
-    std::printf("wrote %s (%zu serving cells, %zu retrieval points)\n",
-                path.c_str(), spec.cells.size(), kNumRetrievalPoints);
+    std::printf("wrote %s (%zu serving cells, %zu retrieval points) "
+                "and %s\n",
+                path.c_str(), spec.cells.size(), kNumRetrievalPoints,
+                csvPath.c_str());
     return 0;
 }

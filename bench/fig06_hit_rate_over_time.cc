@@ -10,6 +10,7 @@
 
 #include "bench/sweep.hh"
 #include "src/cache/image_cache.hh"
+#include "src/obs/metrics.hh"
 #include "src/serving/k_decision.hh"
 
 using namespace modm;
@@ -20,7 +21,11 @@ namespace {
  * Streamed cache simulation (no cluster): classify each prompt against
  * the cache, then admit the (simulated) generation — full fidelity to
  * the scheduler's cache path at a fraction of the cost, which is what
- * lets us stream tens of thousands of requests.
+ * lets us stream tens of thousands of requests. The windowed hit
+ * accounting runs on the streaming metrics registry (windows of
+ * `window` requests, with the request index as the clock), replacing
+ * the hand-rolled counter this figure used to carry; the curve over
+ * complete windows is byte-identical.
  */
 std::vector<double>
 hitRateCurve(std::size_t cache_capacity, std::size_t requests,
@@ -32,16 +37,19 @@ hitRateCurve(std::size_t cache_capacity, std::size_t requests,
     embedding::TextEncoder text;
     serving::KDecision kd;
 
-    std::vector<double> curve;
-    std::size_t hitsInWindow = 0;
+    obs::MetricsRegistry registry(static_cast<double>(window));
+    const auto requestsId = registry.counter("requests");
+    const auto hitsId = registry.counter("hits");
     for (std::size_t i = 0; i < requests; ++i) {
+        const double t = static_cast<double>(i);
+        registry.add(requestsId, t);
         const auto p = gen->next();
         const auto te =
             text.encode(p.visualConcept, p.lexicalStyle, p.text);
         const auto r = cache.retrieve(te);
         diffusion::Image img;
         if (r.found && kd.isHit(r.similarity)) {
-            ++hitsInWindow;
+            registry.add(hitsId, t);
             cache.recordHit(r.entryId, static_cast<double>(i));
             img = sampler.refine(diffusion::sdxl(), p,
                                  cache.entry(r.entryId).image,
@@ -52,10 +60,17 @@ hitRateCurve(std::size_t cache_capacity, std::size_t requests,
                                    static_cast<double>(i));
         }
         cache.insert(img, static_cast<double>(i));
-        if ((i + 1) % window == 0) {
-            curve.push_back(static_cast<double>(hitsInWindow) / window);
-            hitsInWindow = 0;
-        }
+    }
+
+    // Complete windows only: the historical curve dropped the trailing
+    // partial window, while take() flushes it as a final row.
+    const auto series = registry.take();
+    std::vector<double> curve;
+    const std::size_t complete = requests / window;
+    for (std::size_t w = 0;
+         w < complete && w < series.rows.size(); ++w) {
+        curve.push_back(series.rows[w].values[hitsId].sum /
+                        static_cast<double>(window));
     }
     return curve;
 }

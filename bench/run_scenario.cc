@@ -12,8 +12,13 @@
  * golden.
  *
  * Usage: run_scenario <file.scn> [--digest-out <path>] [--canonical]
+ *                     [--trace-dir <dir>]
  *   --canonical  print the canonical serialization to stdout and exit
  *                (normalizes hand-written scenario files for review).
+ *   --trace-dir  record an event trace per serving-mode cell and write
+ *                it to <dir>/<scenario>-<cell>.mtrace (see
+ *                bench/trace_diff for the record/replay loop). Results
+ *                and digests are byte-identical with tracing on.
  */
 
 #include <cstdio>
@@ -50,6 +55,21 @@ tableTitle(const workload::Scenario &scenario)
 {
     return scenario.title.empty() ? "scenario " + scenario.name
                                   : scenario.title;
+}
+
+/** Cell label as a filename component (non-alphanumerics to '-'). */
+std::string
+fileLabel(const std::string &label)
+{
+    std::string out = label;
+    for (char &c : out) {
+        const bool keep = (c >= 'a' && c <= 'z') ||
+            (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+            c == '.' || c == '-' || c == '_';
+        if (!keep)
+            c = '-';
+    }
+    return out;
 }
 
 /** Hex-float digest of a hit-rate curve (resultDigest convention). */
@@ -145,6 +165,7 @@ main(int argc, char **argv)
 {
     std::string path;
     std::string digestOut;
+    std::string traceDir;
     bool canonical = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--canonical") == 0) {
@@ -153,16 +174,22 @@ main(int argc, char **argv)
             if (++i >= argc)
                 fatal("--digest-out needs a path");
             digestOut = argv[i];
+        } else if (std::strcmp(argv[i], "--trace-dir") == 0) {
+            if (++i >= argc)
+                fatal("--trace-dir needs a directory");
+            traceDir = argv[i];
         } else if (path.empty()) {
             path = argv[i];
         } else {
             fatal("usage: run_scenario <file.scn> "
-                  "[--digest-out <path>] [--canonical]");
+                  "[--digest-out <path>] [--canonical] "
+                  "[--trace-dir <dir>]");
         }
     }
     if (path.empty())
         fatal("usage: run_scenario <file.scn> "
-              "[--digest-out <path>] [--canonical]");
+              "[--digest-out <path>] [--canonical] "
+              "[--trace-dir <dir>]");
 
     const auto scenario = workload::loadScenarioFile(path);
     if (canonical) {
@@ -189,6 +216,9 @@ main(int argc, char **argv)
     std::uint64_t combined = workload::scenarioDigest(scenario);
 
     if (scenario.mode == workload::ScenarioMode::CacheStream) {
+        if (!traceDir.empty())
+            warn("--trace-dir ignored: cache-stream scenarios run no "
+                 "event queue");
         std::vector<std::function<std::vector<double>()>> cellFns;
         for (const auto &cell : cells) {
             cellFns.push_back([&scenario, cell] {
@@ -208,8 +238,14 @@ main(int argc, char **argv)
     } else {
         std::vector<std::function<serving::ServingResult()>> cellFns;
         for (const auto &cell : cells) {
-            cellFns.push_back([&scenario, cell] {
-                return serving::runScenarioCell(scenario, cell);
+            obs::TraceConfig trace;
+            if (!traceDir.empty()) {
+                trace.events = true;
+                trace.path = traceDir + "/" + scenario.name + "-" +
+                    fileLabel(cell.label) + ".mtrace";
+            }
+            cellFns.push_back([&scenario, cell, trace] {
+                return serving::runScenarioCell(scenario, cell, trace);
             });
         }
         const auto results = bench::runCells<serving::ServingResult>(

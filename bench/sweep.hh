@@ -30,6 +30,12 @@
  *   MODM_SWEEP_CACHE_DIR    cache directory (build/sweep-cache).
  *   MODM_SWEEP_CACHE_SALT   overrides the code-version salt (defaults
  *                           to a hash of the running binary).
+ *   MODM_SWEEP_VERIFY       1 re-runs every cell serially after the
+ *                           sweep and cross-checks resultDigest; a
+ *                           mismatch re-runs the offending cell with
+ *                           event tracing and reports the first
+ *                           divergent event (see obs/trace.hh) before
+ *                           failing.
  */
 
 #ifndef MODM_BENCH_SWEEP_HH
@@ -49,6 +55,7 @@
 #include "bench/sweep_cache.hh"
 #include "src/common/log.hh"
 #include "src/common/thread_pool.hh"
+#include "src/obs/trace.hh"
 
 namespace modm::bench {
 
@@ -228,9 +235,56 @@ struct SweepSpec
     }
 };
 
+/** True when MODM_SWEEP_VERIFY=1 requests the post-sweep cross-check. */
+inline bool
+resolveSweepVerify()
+{
+    const char *env = std::getenv("MODM_SWEEP_VERIFY");
+    return env != nullptr && env[0] == '1' && env[1] == '\0';
+}
+
+/**
+ * Cross-check a finished sweep against serial reference runs: every
+ * cell is recomputed on the calling thread and its resultDigest must
+ * match the sweep's. On a mismatch the offending cell is re-run twice
+ * with event tracing and the first divergent event is reported (the
+ * exact clock/node/request where the runs parted ways), then the
+ * process exits via fatal() — a digest mismatch means the share-
+ * nothing contract was violated somewhere, and the trace names where.
+ */
+inline void
+verifySweep(const SweepSpec &spec,
+            const std::vector<serving::ServingResult> &results)
+{
+    for (std::size_t i = 0; i < spec.cells.size(); ++i) {
+        const auto &cell = spec.cells[i];
+        const serving::ServingResult serial =
+            runSystem(cell.config, cell.bundle());
+        if (serving::resultDigest(serial) ==
+            serving::resultDigest(results[i]))
+            continue;
+        warn("sweep cell \"%s\" diverged from its serial reference; "
+             "re-running with event tracing",
+             cell.label.c_str());
+        serving::ServingConfig traced = cell.config;
+        traced.trace.events = true;
+        const auto a = runSystem(traced, cell.bundle());
+        const auto b = runSystem(traced, cell.bundle());
+        std::fputs(
+            obs::formatDivergence(
+                obs::firstDivergence(*a.traceLog, *b.traceLog))
+                .c_str(),
+            stderr);
+        fatal("sweep verification failed for cell \"%s\" "
+              "(%zu of %zu)",
+              cell.label.c_str(), i + 1, spec.cells.size());
+    }
+}
+
 /**
  * Execute every cell of the spec (warm cache from the bundle, replay
- * its trace) and return the ServingResults in cell order.
+ * its trace) and return the ServingResults in cell order. With
+ * MODM_SWEEP_VERIFY=1 the sweep is cross-checked per verifySweep().
  */
 inline std::vector<serving::ServingResult>
 runSweep(const SweepSpec &spec)
@@ -245,7 +299,10 @@ runSweep(const SweepSpec &spec)
             return runSystem(cell.config, cell.bundle());
         });
     }
-    return runCells(std::move(cells), spec.options, labels);
+    auto results = runCells(std::move(cells), spec.options, labels);
+    if (resolveSweepVerify())
+        verifySweep(spec, results);
+    return results;
 }
 
 /**

@@ -1,0 +1,112 @@
+#include "src/obs/span.hh"
+
+#include <cstdio>
+#include <unordered_map>
+
+namespace modm::obs {
+
+std::vector<RequestSpan>
+deriveSpans(const TraceLog &log)
+{
+    std::vector<RequestSpan> spans;
+    std::unordered_map<std::uint64_t, std::size_t> index;
+
+    for (const auto &record : log.records()) {
+        if (record.request == sim::kNoRequest)
+            continue;
+        auto [it, fresh] =
+            index.try_emplace(record.request, spans.size());
+        if (fresh) {
+            spans.emplace_back();
+            spans.back().request = record.request;
+        }
+        RequestSpan &span = spans[it->second];
+
+        switch (static_cast<EventKind>(record.kind)) {
+          case EventKind::Arrival:
+            span.arrival = record.clock;
+            break;
+          case EventKind::Route:
+            if (span.routed < 0.0)
+                span.routed = record.clock;
+            span.hops.push_back({record.node, record.clock});
+            span.node = record.node;
+            break;
+          case EventKind::Reroute:
+            ++span.reroutes;
+            break;
+          case EventKind::CacheHit:
+            span.classified = record.clock;
+            span.hit = true;
+            break;
+          case EventKind::CacheMiss:
+            span.classified = record.clock;
+            span.hit = false;
+            break;
+          case EventKind::Dispatch:
+            span.dispatched = record.clock;
+            if (record.node != sim::kNoNode)
+                span.node = record.node;
+            break;
+          case EventKind::DirectReturn:
+            span.direct = true;
+            span.completed = record.clock;
+            break;
+          case EventKind::Serve:
+            span.completed = record.clock;
+            if (record.node != sim::kNoNode)
+                span.node = record.node;
+            break;
+          default:
+            break;
+        }
+    }
+    return spans;
+}
+
+namespace {
+
+void
+appendStamp(std::string &out, const char *name, double t)
+{
+    char buf[64];
+    if (t < 0.0)
+        std::snprintf(buf, sizeof(buf), " %s=-", name);
+    else
+        std::snprintf(buf, sizeof(buf), " %s=%.6g", name, t);
+    out += buf;
+}
+
+} // namespace
+
+std::string
+formatSpan(const RequestSpan &span)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "request %llu:",
+                  static_cast<unsigned long long>(span.request));
+    std::string out = buf;
+    appendStamp(out, "arrival", span.arrival);
+    appendStamp(out, "routed", span.routed);
+    appendStamp(out, "classified", span.classified);
+    appendStamp(out, "dispatched", span.dispatched);
+    appendStamp(out, "completed", span.completed);
+    out += span.hit ? " hit" : " miss";
+    if (span.direct)
+        out += " direct";
+    out += " hops=[";
+    for (std::size_t i = 0; i < span.hops.size(); ++i) {
+        std::snprintf(buf, sizeof(buf), "%s%u", i > 0 ? " " : "",
+                      span.hops[i].node);
+        out += buf;
+    }
+    out += "]";
+    if (span.reroutes > 0) {
+        std::snprintf(buf, sizeof(buf), " reroutes=%u", span.reroutes);
+        out += buf;
+    }
+    out += "\n";
+    return out;
+}
+
+} // namespace modm::obs

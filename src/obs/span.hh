@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Per-request span derivation from an event trace.
+ *
+ * A TraceLog is a flat dispatch-ordered stream; debugging one request
+ * means grepping it by request id. deriveSpans() does that walk once
+ * and folds each request's records into a RequestSpan — the lifecycle
+ * timestamps (arrival, route, cache classification, worker dispatch,
+ * completion) plus the node hop list a failover reroute produces. The
+ * span is purely derived: it adds no recording cost and any span can
+ * be recomputed from the log alone.
+ */
+
+#ifndef MODM_OBS_SPAN_HH
+#define MODM_OBS_SPAN_HH
+
+#include <string>
+#include <vector>
+
+#include "src/obs/trace.hh"
+
+namespace modm::obs {
+
+/** One routing hop of a request (repeated on failover reroutes). */
+struct SpanHop
+{
+    std::uint32_t node = sim::kNoNode;
+    /** Virtual time the router picked this node. */
+    double routed = -1.0;
+};
+
+/**
+ * One request's lifecycle, folded from its trace records. Timestamps
+ * are virtual seconds; -1 marks a stage the request never reached
+ * (e.g. `dispatched` for a direct cache return, `completed` for a
+ * request still in flight when the log ended).
+ */
+struct RequestSpan
+{
+    std::uint64_t request = sim::kNoRequest;
+    double arrival = -1.0;
+    /** First route decision (== hops.front().routed). */
+    double routed = -1.0;
+    /** Cache classification (hit or miss) at the serving node. */
+    double classified = -1.0;
+    /** Handed to a worker (stays -1 on direct cache returns). */
+    double dispatched = -1.0;
+    double completed = -1.0;
+    /** Cache classification outcome. */
+    bool hit = false;
+    /** Served straight from cache, no diffusion pass. */
+    bool direct = false;
+    /** Node that completed the request (last hop's node). */
+    std::uint32_t node = sim::kNoNode;
+    /** Every node the request was routed to, in order. */
+    std::vector<SpanHop> hops;
+    /** Failover re-route count (hops.size() - 1 when routed at all). */
+    std::uint32_t reroutes = 0;
+};
+
+/**
+ * Fold a trace into per-request spans, ordered by first appearance
+ * (arrival order). Records with no request id are skipped.
+ */
+std::vector<RequestSpan> deriveSpans(const TraceLog &log);
+
+/**
+ * One-line human-readable span: request id, waypoint timestamps,
+ * hit/direct flags, and the hop list.
+ */
+std::string formatSpan(const RequestSpan &span);
+
+} // namespace modm::obs
+
+#endif // MODM_OBS_SPAN_HH

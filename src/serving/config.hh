@@ -17,6 +17,7 @@
 #include "src/diffusion/sampler.hh"
 #include "src/embedding/encoder.hh"
 #include "src/embedding/vector_index.hh"
+#include "src/obs/trace.hh"
 #include "src/serving/fault.hh"
 #include "src/serving/k_decision.hh"
 #include "src/serving/knobs.hh"
@@ -205,6 +206,16 @@ struct ServingConfig
 
     /** Keep (prompt, image) outputs for quality evaluation. */
     bool keepOutputs = false;
+
+    /**
+     * Observability: event tracing and streaming metrics (see
+     * obs/trace.hh). The default — everything off — is a strict
+     * no-op: no tap is installed, no registry allocated, and every
+     * digest and golden is byte-identical to a build without the
+     * subsystem. When left disabled here, the MODM_TRACE environment
+     * knob can switch tracing on as a debugging override.
+     */
+    obs::TraceConfig trace = {};
 
     /**
      * Bound on retained telemetry samples (ServingResult::hitAges and

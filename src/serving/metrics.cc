@@ -1,9 +1,9 @@
 #include "src/serving/metrics.hh"
 
 #include <algorithm>
-#include <cmath>
 
 #include "src/common/log.hh"
+#include "src/obs/metrics.hh"
 
 namespace modm::serving {
 
@@ -114,15 +114,13 @@ MetricsCollector::lastCompletion() const
 std::vector<double>
 MetricsCollector::completionsPerMinute(double duration) const
 {
-    const std::size_t buckets = static_cast<std::size_t>(
-        std::ceil(std::max(duration, 1.0) / 60.0));
-    std::vector<double> out(buckets, 0.0);
-    for (const auto &r : records_) {
-        const auto b = static_cast<std::size_t>(r.finish / 60.0);
-        if (b < buckets)
-            out[b] += 1.0;
-    }
-    return out;
+    // The standardized bucketing in obs reproduces the historical
+    // accounting exactly (same bucket math, same past-end drop).
+    std::vector<double> finishes;
+    finishes.reserve(records_.size());
+    for (const auto &r : records_)
+        finishes.push_back(r.finish);
+    return obs::bucketCounts(finishes, 60.0, duration);
 }
 
 } // namespace modm::serving

@@ -127,6 +127,8 @@ ServingNode::onArrival(const workload::Request &request)
                 id_);
     ++periodArrivals_;
     ++assigned_;
+    if (metrics_ != nullptr)
+        metrics_->registry->add(metrics_->arrivals, events_.now());
     intake_.push_back(request);
     processIntake();
     tryDispatch();
@@ -135,9 +137,20 @@ ServingNode::onArrival(const workload::Request &request)
 void
 ServingNode::scheduleMonitorTick()
 {
-    monitorTick_ = events_.schedule(config_.monitorPeriod,
-                                    [this]() { onMonitorTick(); });
+    monitorTick_ = events_.schedule(
+        config_.monitorPeriod,
+        obs::eventMeta(obs::EventKind::MonitorTick, id_),
+        [this]() { onMonitorTick(); });
     monitorTickPending_ = true;
+}
+
+void
+ServingNode::trace(double clock, obs::EventKind kind,
+                   std::uint64_t request) const
+{
+    if (tracer_ != nullptr)
+        tracer_->emit(clock, kind, static_cast<std::uint32_t>(id_),
+                      request);
 }
 
 bool
@@ -154,13 +167,26 @@ ServingNode::processIntake()
         const workload::Request request = intake_.front();
         intake_.pop_front();
         ClassifiedJob job = scheduler_->classify(request, events_.now());
+        trace(events_.now(),
+              job.hit ? obs::EventKind::CacheHit
+                      : obs::EventKind::CacheMiss,
+              request.prompt.id);
 
         if (job.hit) {
             ++periodHits_;
             if (job.k > 0)
                 ++periodKCounts_[job.k];
+            if (metrics_ != nullptr) {
+                metrics_->registry->add(metrics_->hits, events_.now());
+                metrics_->registry->observe(metrics_->similarity,
+                                            events_.now(),
+                                            job.similarity);
+            }
         } else {
             ++periodMisses_;
+            if (metrics_ != nullptr)
+                metrics_->registry->add(metrics_->misses,
+                                        events_.now());
         }
 
         if (job.direct) {
@@ -187,6 +213,7 @@ ServingNode::completeDirect(const ClassifiedJob &job)
 {
     const double start = events_.now();
     const double finish = start + config_.retrievalLatency;
+    trace(finish, obs::EventKind::DirectReturn, job.request.prompt.id);
     finishRequest(job, start, finish, ServeKind::DirectReturn, "-",
                   &job.base);
     ++completed_;
@@ -267,8 +294,13 @@ ServingNode::tryDispatch()
             entry.dispatchTime = now;
             entry.useLarge = useLarge;
             entry.smallIndex = smallIdx;
+            trace(now, obs::EventKind::Dispatch,
+                  entry.job.request.prompt.id);
             entry.event = events_.schedule(
-                finish, [this, jobId]() { onJobComplete(jobId); });
+                finish,
+                obs::eventMeta(obs::EventKind::Completion, id_,
+                               entry.job.request.prompt.id),
+                [this, jobId]() { onJobComplete(jobId); });
             progress = true;
             processIntake(); // a freed lookahead slot admits a new job
         }
@@ -304,6 +336,7 @@ ServingNode::onJobComplete(std::uint64_t job_id)
 
     admitGenerated(image, job.textEmbedding, !job.hit,
                    job.request.prompt.topicId, now);
+    trace(now, obs::EventKind::Serve, job.request.prompt.id);
     finishRequest(job, entry.dispatchTime, now, kind, model.name,
                   &image);
     ++completed_;
@@ -404,7 +437,9 @@ ServingNode::rejoin(double now)
         monitor_->reset();
     if (run_.completed < run_.total) {
         monitorTick_ = events_.scheduleAfter(
-            config_.monitorPeriod, [this]() { onMonitorTick(); });
+            config_.monitorPeriod,
+            obs::eventMeta(obs::EventKind::MonitorTick, id_),
+            [this]() { onMonitorTick(); });
         monitorTickPending_ = true;
     }
 }
@@ -483,6 +518,12 @@ ServingNode::finishRequest(const ClassifiedJob &job, double start,
     record.servedBy = served_by;
     result_.metrics.record(record);
 
+    if (metrics_ != nullptr) {
+        metrics_->registry->add(metrics_->completions, events_.now());
+        metrics_->registry->observe(metrics_->latency, events_.now(),
+                                    finish - job.request.arrival);
+    }
+
     if (config_.keepOutputs && image) {
         result_.prompts.push_back(job.request.prompt);
         result_.images.push_back(*image);
@@ -525,6 +566,15 @@ ServingNode::onMonitorTick()
             scheduler_->setRetrievalLoad(monitor_->load(lastInputs_));
         }
     }
+    if (metrics_ != nullptr) {
+        metrics_->registry->set(
+            metrics_->queueDepth, events_.now(),
+            static_cast<double>(intake_.size() + largeQueue_.size() +
+                                smallQueue_.size()));
+        metrics_->registry->set(
+            metrics_->numLarge, events_.now(),
+            static_cast<double>(allocation_.numLarge));
+    }
     periodArrivals_ = 0;
     periodHits_ = 0;
     periodMisses_ = 0;
@@ -532,7 +582,9 @@ ServingNode::onMonitorTick()
 
     if (run_.completed < run_.total) {
         monitorTick_ = events_.scheduleAfter(
-            config_.monitorPeriod, [this]() { onMonitorTick(); });
+            config_.monitorPeriod,
+            obs::eventMeta(obs::EventKind::MonitorTick, id_),
+            [this]() { onMonitorTick(); });
         monitorTickPending_ = true;
         tryDispatch();
     }

@@ -34,6 +34,8 @@
 
 #include "src/common/sampled_vector.hh"
 #include "src/diffusion/sampler.hh"
+#include "src/obs/metrics.hh"
+#include "src/obs/trace.hh"
 #include "src/serving/config.hh"
 #include "src/serving/metrics.hh"
 #include "src/serving/monitor.hh"
@@ -86,6 +88,24 @@ struct ClusterRunState
 {
     std::size_t total = 0;
     std::size_t completed = 0;
+};
+
+/**
+ * Pre-registered streaming-metric handles the nodes sample through
+ * (registered by ServingSystem when ServingConfig::trace enables the
+ * metrics layer; nodes never see a registry otherwise).
+ */
+struct NodeMetrics
+{
+    obs::MetricsRegistry *registry = nullptr;
+    obs::MetricId arrivals = 0;       ///< counter: routed arrivals
+    obs::MetricId hits = 0;           ///< counter: cache hits
+    obs::MetricId misses = 0;         ///< counter: cache misses
+    obs::MetricId completions = 0;    ///< counter: served requests
+    obs::MetricId latency = 0;        ///< histogram: arrival->finish s
+    obs::MetricId similarity = 0;     ///< histogram: hit similarity
+    obs::MetricId queueDepth = 0;     ///< gauge: queued jobs at tick
+    obs::MetricId numLarge = 0;       ///< gauge: large workers at tick
 };
 
 /**
@@ -148,6 +168,20 @@ class ServingNode
      * warm-up or traffic.
      */
     void setReplicaSink(ReplicaSink *sink) { replicas_ = sink; }
+
+    /**
+     * Install the run's observers: the event tracer this node emits
+     * sub-events on and the metric handles it samples (either may be
+     * null = that layer off). Called by ServingSystem at construction;
+     * with both null — the default — every observability branch is
+     * dead and the node behaves byte-identically to a build without
+     * the subsystem.
+     */
+    void setObservers(obs::Tracer *tracer, const NodeMetrics *metrics)
+    {
+        tracer_ = tracer;
+        metrics_ = metrics;
+    }
 
     /**
      * Admit a generation into this node's own shard, bypassing the
@@ -282,6 +316,9 @@ class ServingNode
                        double finish, ServeKind kind,
                        const std::string &served_by,
                        const diffusion::Image *image);
+    /** Record an app-level trace emit (no-op when tracing is off). */
+    void trace(double clock, obs::EventKind kind,
+               std::uint64_t request) const;
     /** Admit via the replica sink when set, locally otherwise. */
     void admitGenerated(const diffusion::Image &image,
                         const embedding::Embedding &text_embedding,
@@ -324,6 +361,10 @@ class ServingNode
     std::uint64_t replicaAdmits_ = 0;
     std::vector<std::pair<double, double>> downIntervals_;
     ReplicaSink *replicas_ = nullptr;
+
+    // Observability (null = off; see setObservers).
+    obs::Tracer *tracer_ = nullptr;
+    const NodeMetrics *metrics_ = nullptr;
 
     // Monitor tick bookkeeping (cancelled while the node is down).
     sim::EventQueue::EventId monitorTick_ = 0;

@@ -3,6 +3,7 @@
 #include "src/baselines/presets.hh"
 #include "src/cache/image_cache.hh"
 #include "src/common/log.hh"
+#include "src/obs/metrics.hh"
 #include "src/serving/k_decision.hh"
 #include "src/workload/generator.hh"
 
@@ -224,10 +225,13 @@ scenarioCellConfig(const workload::Scenario &scenario,
 
 ServingResult
 runScenarioCell(const workload::Scenario &scenario,
-                const workload::ScenarioCell &cell)
+                const workload::ScenarioCell &cell,
+                const obs::TraceConfig &trace)
 {
     const auto workload = workload::buildScenarioWorkload(scenario);
-    ServingSystem system(scenarioCellConfig(scenario, cell));
+    auto config = scenarioCellConfig(scenario, cell);
+    config.trace = trace;
+    ServingSystem system(std::move(config));
     if (!workload.warm.empty())
         system.warmCache(workload.warm);
     return system.run(workload.trace);
@@ -255,16 +259,23 @@ runScenarioCacheStream(const workload::Scenario &scenario,
                 "cache-stream cell without a refinement model");
     const auto refine = modelSpec(params.small.front());
 
-    std::vector<double> curve;
-    std::size_t hitsInWindow = 0;
+    // Windowed hit accounting on the streaming metrics registry
+    // (request index as the clock), shared with Fig. 6; the curve over
+    // complete windows is byte-identical to the counter it replaced.
+    obs::MetricsRegistry registry(
+        static_cast<double>(scenario.window));
+    const auto requestsId = registry.counter("requests");
+    const auto hitsId = registry.counter("hits");
     for (std::size_t i = 0; i < scenario.requests; ++i) {
+        const double t = static_cast<double>(i);
+        registry.add(requestsId, t);
         const auto p = gen->next();
         const auto te =
             text.encode(p.visualConcept, p.lexicalStyle, p.text);
         const auto r = cache.retrieve(te);
         diffusion::Image img;
         if (r.found && kd.isHit(r.similarity)) {
-            ++hitsInWindow;
+            registry.add(hitsId, t);
             cache.recordHit(r.entryId, static_cast<double>(i));
             img = sampler.refine(refine, p, cache.entry(r.entryId).image,
                                  kd.decide(r.similarity),
@@ -273,11 +284,17 @@ runScenarioCacheStream(const workload::Scenario &scenario,
             img = sampler.generate(large, p, static_cast<double>(i));
         }
         cache.insert(img, static_cast<double>(i));
-        if ((i + 1) % scenario.window == 0) {
-            curve.push_back(static_cast<double>(hitsInWindow) /
-                            static_cast<double>(scenario.window));
-            hitsInWindow = 0;
-        }
+    }
+
+    // Complete windows only (the historical curve dropped the
+    // trailing partial window; take() flushes it as a final row).
+    const auto series = registry.take();
+    std::vector<double> curve;
+    const std::size_t complete = scenario.requests / scenario.window;
+    for (std::size_t w = 0;
+         w < complete && w < series.rows.size(); ++w) {
+        curve.push_back(series.rows[w].values[hitsId].sum /
+                        static_cast<double>(scenario.window));
     }
     return curve;
 }

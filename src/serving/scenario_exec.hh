@@ -42,10 +42,14 @@ ServingConfig scenarioCellConfig(const workload::Scenario &scenario,
  * Run one serving-mode cell: build the scenario workload, warm the
  * caches when the scenario asks for it, and replay the trace. Each
  * call is an independent experiment (cells share nothing), so cells
- * may run concurrently under the sweep engine.
+ * may run concurrently under the sweep engine. `trace` layers an
+ * observability configuration (event recording, .mtrace output path,
+ * metrics window) over the cell; the default leaves everything off
+ * and the result digest-identical to an untraced run.
  */
 ServingResult runScenarioCell(const workload::Scenario &scenario,
-                              const workload::ScenarioCell &cell);
+                              const workload::ScenarioCell &cell,
+                              const obs::TraceConfig &trace = {});
 
 /**
  * Run one cache-stream cell: the streamed cache simulation of Fig. 6

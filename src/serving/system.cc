@@ -146,6 +146,35 @@ ServingSystem::ServingSystem(ServingConfig config)
         nodes_.push_back(std::make_unique<ServingNode>(
             nodeConfig(n), n, events_, run_, result_));
     }
+    // Observability: the config wins; the MODM_TRACE env knob is a
+    // debugging override that applies only when the config left
+    // tracing off. With both off (the default) no tap is installed,
+    // no registry exists, and every observability branch below and in
+    // the nodes is dead.
+    if (!config_.trace.enabled())
+        config_.trace = obs::traceEnvConfig();
+    if (config_.trace.events) {
+        tracer_ = std::make_unique<obs::Tracer>();
+        events_.setTap(tracer_.get());
+    }
+    if (config_.trace.metricsWindow > 0.0) {
+        metrics_ = std::make_unique<obs::MetricsRegistry>(
+            config_.trace.metricsWindow, config_.trace.maxMetricsRows);
+        nodeMetrics_.registry = metrics_.get();
+        nodeMetrics_.arrivals = metrics_->counter("arrivals");
+        nodeMetrics_.hits = metrics_->counter("cache_hits");
+        nodeMetrics_.misses = metrics_->counter("cache_misses");
+        nodeMetrics_.completions = metrics_->counter("completions");
+        nodeMetrics_.latency = metrics_->histogram("latency_s");
+        nodeMetrics_.similarity = metrics_->histogram("hit_similarity");
+        nodeMetrics_.queueDepth = metrics_->gauge("queue_depth");
+        nodeMetrics_.numLarge = metrics_->gauge("num_large_workers");
+    }
+    if (tracer_ != nullptr || metrics_ != nullptr) {
+        for (auto &node : nodes_)
+            node->setObservers(tracer_.get(),
+                               metrics_ ? &nodeMetrics_ : nullptr);
+    }
     // Replica write-through needs a placement ring that matches the
     // affinity routers' (same kRingSeedSalt-derived seed), so a
     // topic's primary replica is exactly where consistent-hash
@@ -207,8 +236,13 @@ ServingSystem::warmCache(const std::vector<workload::Prompt> &prompts)
     for (std::size_t n = 0; n < nodes_.size(); ++n) {
         nodes_[n]->reserveWarm(replicaRing_ ? admissions[n]
                                             : perNode[n].size());
-        for (const workload::Prompt *prompt : perNode[n])
+        for (const workload::Prompt *prompt : perNode[n]) {
+            if (tracer_ != nullptr)
+                tracer_->emit(0.0, obs::EventKind::Warm,
+                              static_cast<std::uint32_t>(n),
+                              prompt->id);
             nodes_[n]->warm(*prompt);
+        }
     }
 }
 
@@ -229,6 +263,10 @@ ServingSystem::deliver(const workload::Request &request)
     const std::size_t n = router_->needsOutstanding()
         ? router_->route(request.prompt, outstandingSnapshot())
         : router_->route(request.prompt, {});
+    if (tracer_ != nullptr)
+        tracer_->emit(events_.now(), obs::EventKind::Route,
+                      static_cast<std::uint32_t>(n),
+                      request.prompt.id);
     nodes_[n]->onArrival(request);
 }
 
@@ -236,14 +274,25 @@ void
 ServingSystem::onFault(const FaultEvent &event)
 {
     const double now = events_.now();
+    MODM_LOG_DEBUG(now, "fault: %s node %zu",
+                   faultKindName(event.kind), event.node);
     switch (event.kind) {
       case FaultKind::Kill: {
         // Remove from routing first: the surrendered backlog must not
         // route straight back onto the corpse.
         router_->setNodeAlive(event.node, false);
         const auto owed = nodes_[event.node]->kill(now);
-        for (const auto &request : owed)
+        MODM_LOG_DEBUG(now,
+                       "node %zu surrendered %zu requests for "
+                       "re-routing",
+                       event.node, owed.size());
+        for (const auto &request : owed) {
+            if (tracer_ != nullptr)
+                tracer_->emit(now, obs::EventKind::Reroute,
+                              static_cast<std::uint32_t>(event.node),
+                              request.prompt.id);
             deliver(request);
+        }
         break;
       }
       case FaultKind::Drain:
@@ -260,6 +309,8 @@ ServingSystem::onFault(const FaultEvent &event)
 void
 ServingSystem::onKnob(const KnobEvent &event)
 {
+    MODM_LOG_DEBUG(events_.now(), "knob: %s = %zu",
+                   knobTargetName(event.target), event.value);
     switch (event.target) {
       case KnobTarget::MonitorMode:
         for (auto &node : nodes_)
@@ -311,16 +362,22 @@ ServingSystem::run(const workload::Trace &trace)
     // node is gone before anything else observes that instant.
     for (const auto &event : config_.faults.events) {
         events_.schedule(event.time,
+                         obs::eventMeta(obs::EventKind::Fault,
+                                        event.node),
                          [this, event]() { onFault(event); });
     }
     // Knob changes after same-instant faults but before arrivals, so a
     // reconfiguration at time t governs every request arriving at t.
     for (const auto &event : config_.knobs.events) {
         events_.schedule(event.time,
+                         obs::eventMeta(obs::EventKind::Knob),
                          [this, event]() { onKnob(event); });
     }
     for (const auto &request : trace) {
         events_.schedule(request.arrival,
+                         obs::eventMeta(obs::EventKind::Arrival,
+                                        sim::kNoNode,
+                                        request.prompt.id),
                          [this, request]() { deliver(request); });
     }
     for (auto &node : nodes_)
@@ -418,6 +475,27 @@ ServingSystem::run(const workload::Trace &trace)
             result_.failover.nodes.push_back(std::move(nf));
         }
     }
+
+    // Export the recorded observability artifacts. Both summaries are
+    // excluded from resultDigest, so traced runs digest identically to
+    // untraced ones.
+    if (tracer_ != nullptr) {
+        result_.trace.enabled = true;
+        result_.trace.events = tracer_->log().size();
+        result_.trace.hash = tracer_->log().finalHash();
+        result_.trace.path = config_.trace.path;
+        if (!config_.trace.path.empty()) {
+            obs::saveTrace(tracer_->log(), config_.trace.path);
+            MODM_LOG_INFO(-1.0, "wrote %llu-event trace to %s",
+                          static_cast<unsigned long long>(
+                              result_.trace.events),
+                          config_.trace.path.c_str());
+        }
+        result_.traceLog = tracer_->sharedLog();
+        events_.setTap(nullptr);
+    }
+    if (metrics_ != nullptr)
+        result_.series = metrics_->take();
 
     return std::move(result_);
 }

@@ -7,10 +7,16 @@ namespace modm::sim {
 EventQueue::EventId
 EventQueue::schedule(double time, Handler handler)
 {
+    return schedule(time, EventMeta{}, std::move(handler));
+}
+
+EventQueue::EventId
+EventQueue::schedule(double time, const EventMeta &meta, Handler handler)
+{
     MODM_ASSERT(time >= now_ - 1e-9,
                 "cannot schedule in the past (%f < %f)", time, now_);
     const EventId id = nextSeq_++;
-    events_.push(Event{time, id, std::move(handler)});
+    events_.push(Event{time, id, meta, std::move(handler)});
     pending_.insert(id);
     return id;
 }
@@ -18,8 +24,15 @@ EventQueue::schedule(double time, Handler handler)
 EventQueue::EventId
 EventQueue::scheduleAfter(double delay, Handler handler)
 {
+    return scheduleAfter(delay, EventMeta{}, std::move(handler));
+}
+
+EventQueue::EventId
+EventQueue::scheduleAfter(double delay, const EventMeta &meta,
+                          Handler handler)
+{
     MODM_ASSERT(delay >= 0.0, "negative delay");
-    return schedule(now_ + delay, std::move(handler));
+    return schedule(now_ + delay, meta, std::move(handler));
 }
 
 void
@@ -65,6 +78,8 @@ EventQueue::runNext()
     events_.pop();
     pending_.erase(event.seq);
     now_ = event.time;
+    if (tap_ != nullptr)
+        tap_->onDispatch(event.time, event.seq, event.meta);
     event.handler();
     return true;
 }

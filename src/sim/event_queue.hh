@@ -10,6 +10,12 @@
  * simply never fire. Cancelled events are discarded lazily when they
  * reach the head of the queue, so cancellation is O(1) and a queue that
  * never cancels behaves exactly as before.
+ *
+ * Events carry optional EventMeta tags (event kind, node, request) and
+ * the queue accepts one EventTap observer, invoked at every dispatch
+ * just before the handler runs. This is the observability hook: the
+ * obs::Tracer records the tagged event stream through it. With no tap
+ * installed (the default) dispatch is exactly the pre-hook code path.
  */
 
 #ifndef MODM_SIM_EVENT_QUEUE_HH
@@ -22,6 +28,40 @@
 #include <vector>
 
 namespace modm::sim {
+
+/** Tag value for "no node attached to this event". */
+inline constexpr std::uint32_t kNoNode = 0xffffffffu;
+
+/** Tag value for "no request attached to this event". */
+inline constexpr std::uint64_t kNoRequest = ~0ULL;
+
+/**
+ * Optional metadata attached to a scheduled event, surfaced to the
+ * EventTap at dispatch. The kind values are owned by the layer above
+ * (obs::EventKind names the serving stack's); 0 means "untagged".
+ */
+struct EventMeta
+{
+    std::uint16_t kind = 0;
+    std::uint32_t node = kNoNode;
+    std::uint64_t request = kNoRequest;
+};
+
+/**
+ * Dispatch observer: onDispatch fires for every event the queue runs,
+ * after the clock advanced and before the handler executes. Observers
+ * must not mutate the queue (recording only), so an installed tap
+ * cannot change simulation behaviour.
+ */
+class EventTap
+{
+  public:
+    virtual ~EventTap() = default;
+
+    virtual void onDispatch(double time, std::uint64_t seq,
+                            const EventMeta &meta)
+        = 0;
+};
 
 /**
  * Event queue with a monotonically advancing virtual clock.
@@ -42,8 +82,22 @@ class EventQueue
      */
     EventId schedule(double time, Handler handler);
 
+    /** Schedule a tagged callback (meta surfaces at the tap). */
+    EventId schedule(double time, const EventMeta &meta,
+                     Handler handler);
+
     /** Schedule a callback `delay` seconds from now. */
     EventId scheduleAfter(double delay, Handler handler);
+
+    /** Schedule a tagged callback `delay` seconds from now. */
+    EventId scheduleAfter(double delay, const EventMeta &meta,
+                          Handler handler);
+
+    /** Install (or clear, with nullptr) the dispatch observer. */
+    void setTap(EventTap *tap) { tap_ = tap; }
+
+    /** The installed dispatch observer (null when none). */
+    EventTap *tap() const { return tap_; }
 
     /**
      * Cancel a pending event: its handler will never run. The id must
@@ -87,6 +141,7 @@ class EventQueue
     {
         double time;
         std::uint64_t seq;
+        EventMeta meta;
         Handler handler;
     };
 
@@ -115,6 +170,7 @@ class EventQueue
     std::unordered_set<EventId> pending_;
     double now_ = 0.0;
     std::uint64_t nextSeq_ = 0;
+    EventTap *tap_ = nullptr;
 };
 
 } // namespace modm::sim

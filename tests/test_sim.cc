@@ -130,6 +130,73 @@ TEST(EventQueue, CancelOfAlreadyRunEventPanics)
     EXPECT_DEATH(q.cancel(ran), "not pending");
 }
 
+/** Recording tap: one (time, seq, meta) tuple per dispatch. */
+struct RecordingTap : EventTap
+{
+    struct Seen
+    {
+        double time;
+        std::uint64_t seq;
+        EventMeta meta;
+    };
+    std::vector<Seen> seen;
+
+    void
+    onDispatch(double time, std::uint64_t seq,
+               const EventMeta &meta) override
+    {
+        seen.push_back({time, seq, meta});
+    }
+};
+
+TEST(EventQueue, TapObservesEveryDispatchWithItsMeta)
+{
+    EventQueue q;
+    RecordingTap tap;
+    q.setTap(&tap);
+    EXPECT_EQ(q.tap(), &tap);
+    q.schedule(2.0, EventMeta{7, 3, 42}, [] {});
+    q.schedule(1.0, [] {}); // untagged
+    q.scheduleAfter(3.0, EventMeta{9, kNoNode, kNoRequest}, [] {});
+    q.runAll();
+    ASSERT_EQ(tap.seen.size(), 3u);
+    // Dispatch order (by time), not scheduling order.
+    EXPECT_DOUBLE_EQ(tap.seen[0].time, 1.0);
+    EXPECT_EQ(tap.seen[0].meta.kind, 0);
+    EXPECT_EQ(tap.seen[0].meta.node, kNoNode);
+    EXPECT_EQ(tap.seen[0].meta.request, kNoRequest);
+    EXPECT_DOUBLE_EQ(tap.seen[1].time, 2.0);
+    EXPECT_EQ(tap.seen[1].meta.kind, 7);
+    EXPECT_EQ(tap.seen[1].meta.node, 3u);
+    EXPECT_EQ(tap.seen[1].meta.request, 42u);
+    EXPECT_DOUBLE_EQ(tap.seen[2].time, 3.0);
+    EXPECT_EQ(tap.seen[2].meta.kind, 9);
+    // Queue sequence numbers are distinct and follow scheduling order.
+    EXPECT_EQ(tap.seen[0].seq, 1u);
+    EXPECT_EQ(tap.seen[1].seq, 0u);
+    EXPECT_EQ(tap.seen[2].seq, 2u);
+}
+
+TEST(EventQueue, TapSkipsCancelledEventsAndClears)
+{
+    EventQueue q;
+    RecordingTap tap;
+    q.setTap(&tap);
+    const auto doomed = q.schedule(1.0, EventMeta{1, 0, 0}, [] {});
+    q.schedule(2.0, EventMeta{2, 0, 0}, [] {});
+    q.cancel(doomed);
+    q.runAll();
+    ASSERT_EQ(tap.seen.size(), 1u);
+    EXPECT_EQ(tap.seen[0].meta.kind, 2);
+    // Clearing the tap stops observation without disturbing dispatch.
+    q.setTap(nullptr);
+    int ran = 0;
+    q.schedule(3.0, [&] { ++ran; });
+    q.runAll();
+    EXPECT_EQ(ran, 1);
+    EXPECT_EQ(tap.seen.size(), 1u);
+}
+
 TEST(Worker, JobLatencyMatchesModelProfile)
 {
     Worker w(0, diffusion::GpuKind::A40);
